@@ -1,0 +1,431 @@
+package crowdjoin_test
+
+// One benchmark per table and figure of the paper's evaluation, at full
+// dataset scale, plus ablation benches for the design choices DESIGN.md
+// calls out. Each bench reports the experiment's headline quantities via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation; `go run ./cmd/experiments` prints the full rows/series.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crowdjoin/internal/candgen"
+	"crowdjoin/internal/clustergraph"
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/crowd"
+	"crowdjoin/internal/dataset"
+	"crowdjoin/internal/experiments"
+)
+
+var (
+	envOnce sync.Once
+	fullEnv *experiments.Env
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		e, err := experiments.NewEnv(experiments.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullEnv = e
+	})
+	return fullEnv
+}
+
+func BenchmarkFig10ClusterSizes(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = e.Fig10()
+	}
+	b.ReportMetric(float64(experiments.MaxClusterSize(r.Paper)), "paper-max-cluster")
+	b.ReportMetric(float64(experiments.MaxClusterSize(r.Product)), "product-max-cluster")
+}
+
+func BenchmarkFig11Transitivity(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Paper {
+		if row.Threshold == 0.3 {
+			b.ReportMetric(100*row.Saving(), "paper-saving%@0.3")
+		}
+	}
+	for _, row := range r.Product {
+		if row.Threshold == 0.3 {
+			b.ReportMetric(100*row.Saving(), "product-saving%@0.3")
+		}
+	}
+}
+
+func BenchmarkFig12LabelingOrders(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Paper[len(r.Paper)-1] // lowest threshold
+	b.ReportMetric(float64(last.Worst)/float64(last.Optimal), "paper-worst/optimal")
+	b.ReportMetric(float64(last.Expected)/float64(last.Optimal), "paper-expected/optimal")
+}
+
+func BenchmarkFig13ParallelRounds(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Paper.RoundSizes)), "paper-iterations")
+	b.ReportMetric(float64(r.Paper.NonParallelIterations), "paper-nonparallel-iterations")
+}
+
+func BenchmarkFig14ParallelRoundsSparser(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Fig14(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Paper.RoundSizes)), "paper-iterations")
+}
+
+func BenchmarkFig15Availability(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Fig15(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, tr := range r.Paper {
+		switch tr.Variant {
+		case experiments.VariantParallel:
+			b.ReportMetric(float64(tr.AvailabilityMass()), "paper-mass-parallel")
+		case experiments.VariantInstant:
+			b.ReportMetric(float64(tr.AvailabilityMass()), "paper-mass-id")
+		case experiments.VariantInstantNF:
+			b.ReportMetric(float64(tr.AvailabilityMass()), "paper-mass-id-nf")
+		}
+	}
+}
+
+func BenchmarkTable1CompletionTime(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.NonParallelHours/row.ParallelIDHours, row.Dataset+"-speedup")
+	}
+}
+
+func BenchmarkTable2QualityAndCost(b *testing.B) {
+	e := benchEnv(b)
+	var r *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r, err = e.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	byKey := map[string]experiments.Table2Row{}
+	for _, row := range r.Rows {
+		byKey[row.Dataset+"/"+row.Method] = row
+	}
+	b.ReportMetric(float64(byKey["Paper/Non-Transitive"].HITs)/float64(byKey["Paper/Transitive"].HITs),
+		"paper-hit-reduction")
+	b.ReportMetric(100*(byKey["Paper/Non-Transitive"].Quality.F1-byKey["Paper/Transitive"].Quality.F1),
+		"paper-f1-loss-points")
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationBatchSize sweeps pairs-per-HIT for the Table 1 setup,
+// probing the paper's batching strategy (Section 6.4).
+func BenchmarkAblationBatchSize(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	for _, batch := range []int{1, 5, 10, 20, 50} {
+		b.Run(benchName("batch", batch), func(b *testing.B) {
+			var hours float64
+			var hits int
+			for i := 0; i < b.N; i++ {
+				cfg := crowd.DefaultConfig()
+				cfg.BatchSize = batch
+				pf, err := crowd.NewPlatform(e.Paper.Truth.Matches, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.LabelOnPlatform(e.Paper.Dataset.Len(), order, pf, true); err != nil {
+					b.Fatal(err)
+				}
+				hours, hits = pf.Now(), pf.HITs()
+			}
+			b.ReportMetric(hours, "hours")
+			b.ReportMetric(float64(hits), "hits")
+		})
+	}
+}
+
+// BenchmarkAblationWorkers sweeps the worker-pool size, probing the
+// parallelism headroom behind Table 1's speedup.
+func BenchmarkAblationWorkers(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	for _, workers := range []int{4, 8, 16, 32, 64} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			var hours float64
+			for i := 0; i < b.N; i++ {
+				cfg := crowd.DefaultConfig()
+				cfg.Workers = workers
+				pf, err := crowd.NewPlatform(e.Paper.Truth.Matches, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.LabelOnPlatform(e.Paper.Dataset.Len(), order, pf, true); err != nil {
+					b.Fatal(err)
+				}
+				hours = pf.Now()
+			}
+			b.ReportMetric(hours, "hours")
+		})
+	}
+}
+
+// BenchmarkAblationErrorRate sweeps worker error rates, probing the
+// savings-vs-quality trade-off behind Table 2.
+func BenchmarkAblationErrorRate(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2} {
+		b.Run(benchName("err%", int(rate*100)), func(b *testing.B) {
+			var conflicts int
+			for i := 0; i < b.N; i++ {
+				cfg := crowd.DefaultConfig()
+				cfg.Model = crowd.UniformErrorModel{Rate: rate}
+				pf, err := crowd.NewPlatform(e.Paper.Truth.Matches, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := core.LabelOnPlatform(e.Paper.Dataset.Len(), order, pf, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				conflicts = run.Conflicts
+			}
+			b.ReportMetric(float64(conflicts), "conflicts")
+		})
+	}
+}
+
+// BenchmarkAblationDeduction compares the ClusterGraph against the naive
+// path-search deduction of Section 3.2 on the same query stream.
+func BenchmarkAblationDeduction(b *testing.B) {
+	const n = 400
+	rng := rand.New(rand.NewSource(9))
+	entity := make([]int32, n)
+	for i := range entity {
+		entity[i] = int32(rng.Intn(n / 8))
+	}
+	var labeled []clustergraph.LabeledPair
+	for i := 0; i < 3*n; i++ {
+		a, c := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == c {
+			continue
+		}
+		labeled = append(labeled, clustergraph.LabeledPair{A: a, B: c, Matching: entity[a] == entity[c]})
+	}
+	queries := make([][2]int32, 256)
+	for i := range queries {
+		queries[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	b.Run("clustergraph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := clustergraph.New(n)
+			for _, lp := range labeled {
+				_ = g.Insert(lp.A, lp.B, lp.Matching)
+			}
+			for _, q := range queries {
+				_ = g.Deduce(q[0], q[1])
+			}
+		}
+	})
+	b.Run("pathsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				_ = clustergraph.BruteForceDeduce(n, labeled, q[0], q[1])
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIncremental compares the instant-decision driver's
+// implementation strategies: the from-scratch Algorithm 3 rescan and
+// full-order deduction pass the paper describes, vs the checkpointed scan
+// and incident-pairs-only deduction. Outputs are identical (see the
+// equivalence property tests); only the work per answer changes. The
+// deduction pass dominates, so IncrementalDeduce is the big lever.
+func BenchmarkAblationIncremental(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	configs := []struct {
+		name string
+		opts core.PlatformOptions
+	}{
+		{"paper-baseline", core.PlatformOptions{Instant: true}},
+		{"incr-scan", core.PlatformOptions{Instant: true, IncrementalScan: true}},
+		{"incr-deduce", core.PlatformOptions{Instant: true, IncrementalDeduce: true}},
+		{"incr-both", core.PlatformOptions{Instant: true, IncrementalScan: true, IncrementalDeduce: true}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pf := core.NewSimPlatform(e.Paper.Truth, core.SelectRandom, rand.New(rand.NewSource(3)))
+				_, err := core.LabelOnPlatformOpts(e.Paper.Dataset.Len(), order, pf, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlocking compares inverted-index candidate generation
+// against the exhaustive scorer.
+func BenchmarkAblationBlocking(b *testing.B) {
+	cfg := dataset.DefaultAbtBuyConfig()
+	cfg.AbtRecords, cfg.BuyRecords = 400, 420
+	d := dataset.GenerateAbtBuy(cfg)
+	s := candgen.NewScorer(d, candgen.Unweighted)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := candgen.Candidates(d, s, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := candgen.ExhaustiveCandidates(d, s, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPrefixFilter compares the three candidate generators:
+// exhaustive scoring, full token index, and prefix filtering.
+func BenchmarkAblationPrefixFilter(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	s := candgen.NewScorer(d, candgen.Unweighted)
+	for _, th := range []float64{0.3, 0.5} {
+		b.Run(benchName("full-index@", int(th*10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := candgen.Candidates(d, s, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("prefix@", int(th*10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := candgen.PrefixCandidates(d, s, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Core micro-benchmarks ---------------------------------------------
+
+func BenchmarkSequentialLabeling(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LabelSequential(e.Paper.Dataset.Len(), order, e.Paper.Truth); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pairs)), "pairs")
+}
+
+func BenchmarkParallelLabeling(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LabelParallel(e.Paper.Dataset.Len(), order, core.Batched(e.Paper.Truth)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrowdsourceablePairs(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	labels := make([]core.Label, len(order))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CrowdsourceablePairs(e.Paper.Dataset.Len(), order, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidateGeneration(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := candgen.NewScorer(d, candgen.Unweighted)
+		if _, err := candgen.Candidates(d, s, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "=" + string(buf[i:])
+}

@@ -1,0 +1,83 @@
+package crowdjoin
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/candgen"
+	"crowdjoin/internal/dataset"
+)
+
+// Matcher computes machine likelihoods and candidate pairs from record
+// texts — the machine half of the hybrid workflow.
+type Matcher struct {
+	// Threshold is the minimum likelihood for a candidate pair, in (0, 1].
+	Threshold float64
+	// UseIDF weights token overlap by inverse document frequency instead
+	// of plain Jaccard.
+	UseIDF bool
+}
+
+// Candidates returns every pair of texts whose similarity reaches the
+// threshold, sorted by likelihood descending with dense pair IDs — ready
+// for ExpectedOrder and the labelers. Object i is texts[i].
+func (m Matcher) Candidates(texts []string) ([]Pair, error) {
+	d := textsToDataset(texts, nil)
+	return m.candidates(d)
+}
+
+// CandidatesAcross returns candidate pairs spanning the two sources of a
+// join (no within-source pairs). Objects 0..len(a)-1 are a's texts and
+// len(a)..len(a)+len(b)-1 are b's.
+func (m Matcher) CandidatesAcross(a, b []string) ([]Pair, error) {
+	d := textsToDataset(a, b)
+	return m.candidates(d)
+}
+
+func (m Matcher) candidates(d *dataset.Dataset) ([]Pair, error) {
+	if m.Threshold <= 0 || m.Threshold > 1 {
+		return nil, fmt.Errorf("crowdjoin: Matcher.Threshold %v outside (0,1]", m.Threshold)
+	}
+	if m.UseIDF {
+		return candgen.Candidates(d, candgen.NewScorer(d, candgen.IDFWeighted), m.Threshold)
+	}
+	// Plain Jaccard admits prefix filtering, which returns the identical
+	// candidate set faster (see TestPrefixMatchesFullIndex).
+	return candgen.PrefixCandidates(d, candgen.NewScorer(d, candgen.Unweighted), m.Threshold)
+}
+
+// Similarity returns the likelihood the matcher assigns to two texts.
+func (m Matcher) Similarity(a, b string) float64 {
+	d := textsToDataset([]string{a, b}, nil)
+	w := candgen.Unweighted
+	if m.UseIDF {
+		w = candgen.IDFWeighted
+	}
+	return candgen.NewScorer(d, w).Similarity(0, 1)
+}
+
+// textsToDataset wraps raw texts in the internal dataset representation.
+// Ground-truth entities are unknown to the facade, so every record carries
+// entity 0; nothing in candidate generation reads them.
+func textsToDataset(a, b []string) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "user", NumEntities: 1, Bipartite: b != nil}
+	add := func(texts []string, source string) []int32 {
+		ids := make([]int32, len(texts))
+		for i, t := range texts {
+			id := int32(len(d.Records))
+			d.Records = append(d.Records, dataset.Record{
+				ID:     id,
+				Source: source,
+				Fields: []dataset.Field{{Name: "text", Value: t}},
+			})
+			ids[i] = id
+		}
+		return ids
+	}
+	d.SourceA = add(a, "a")
+	if b != nil {
+		d.SourceB = add(b, "b")
+	} else {
+		d.SourceA = nil
+	}
+	return d
+}

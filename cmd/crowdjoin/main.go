@@ -1,0 +1,172 @@
+// Command crowdjoin runs a crowdsourced join over record files.
+//
+// Usage:
+//
+//	crowdjoin -a records.txt [-b other.txt] [-threshold 0.3] [-idf]
+//	          [-crowd interactive|auto] [-truth truth.txt]
+//
+// Records are one per line. With -b, the join is bipartite (pairs span the
+// two files); without it, the tool deduplicates -a. The crowd is either
+// you (-crowd interactive: answer y/n on stdin) or an automatic oracle
+// driven by -truth, a file assigning an entity key to each record (same
+// line order as the inputs, -a then -b).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdjoin"
+)
+
+func main() {
+	fileA := flag.String("a", "", "records file (one per line); required")
+	fileB := flag.String("b", "", "optional second source for a bipartite join")
+	threshold := flag.Float64("threshold", 0.3, "machine likelihood threshold in (0,1]")
+	idf := flag.Bool("idf", false, "weight token overlap by inverse document frequency")
+	crowdMode := flag.String("crowd", "interactive", "crowd backend: interactive or auto")
+	truthFile := flag.String("truth", "", "entity key per record (required for -crowd auto)")
+	parallel := flag.Bool("parallel", false, "use the parallel labeler (batches of questions)")
+	flag.Parse()
+
+	if *fileA == "" {
+		fatal(fmt.Errorf("-a is required"))
+	}
+	a, err := readLines(*fileA)
+	if err != nil {
+		fatal(err)
+	}
+	var b []string
+	if *fileB != "" {
+		if b, err = readLines(*fileB); err != nil {
+			fatal(err)
+		}
+	}
+	texts := append(append([]string{}, a...), b...)
+
+	matcher := crowdjoin.Matcher{Threshold: *threshold, UseIDF: *idf}
+	var pairs []crowdjoin.Pair
+	if b == nil {
+		pairs, err = matcher.Candidates(a)
+	} else {
+		pairs, err = matcher.CandidatesAcross(a, b)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d records, %d candidate pairs above %.2f\n", len(texts), len(pairs), *threshold)
+
+	oracle, err := buildOracle(*crowdMode, *truthFile, texts)
+	if err != nil {
+		fatal(err)
+	}
+
+	order := crowdjoin.ExpectedOrder(pairs)
+	var labels []crowdjoin.Label
+	var crowdsourced, deduced int
+	if *parallel {
+		res, err := crowdjoin.LabelParallel(len(texts), order, batchify(oracle))
+		if err != nil {
+			fatal(err)
+		}
+		labels, crowdsourced, deduced = res.Labels, res.NumCrowdsourced, res.NumDeduced
+	} else {
+		res, err := crowdjoin.LabelSequential(len(texts), order, oracle)
+		if err != nil {
+			fatal(err)
+		}
+		labels, crowdsourced, deduced = res.Labels, res.NumCrowdsourced, res.NumDeduced
+	}
+	fmt.Fprintf(os.Stderr, "crowdsourced %d pairs, deduced %d via transitive relations\n", crowdsourced, deduced)
+
+	clusters, err := crowdjoin.Clusters(len(texts), pairs, labels)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range clusters {
+		if len(c) < 2 {
+			continue
+		}
+		for _, o := range c {
+			fmt.Println(texts[o])
+		}
+		fmt.Println("---")
+	}
+}
+
+func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, error) {
+	switch mode {
+	case "interactive":
+		in := bufio.NewScanner(os.Stdin)
+		return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+			for {
+				fmt.Fprintf(os.Stderr, "same entity? [y/n]\n  A: %s\n  B: %s\n> ", texts[p.A], texts[p.B])
+				if !in.Scan() {
+					fmt.Fprintln(os.Stderr, "\nno more input; answering n")
+					return crowdjoin.NonMatching
+				}
+				switch strings.ToLower(strings.TrimSpace(in.Text())) {
+				case "y", "yes":
+					return crowdjoin.Matching
+				case "n", "no":
+					return crowdjoin.NonMatching
+				}
+			}
+		}), nil
+	case "auto":
+		if truthFile == "" {
+			return nil, fmt.Errorf("-crowd auto requires -truth")
+		}
+		keys, err := readLines(truthFile)
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) != len(texts) {
+			return nil, fmt.Errorf("truth has %d lines for %d records", len(keys), len(texts))
+		}
+		return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+			if keys[p.A] == keys[p.B] {
+				return crowdjoin.Matching
+			}
+			return crowdjoin.NonMatching
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown crowd mode %q", mode)
+	}
+}
+
+func batchify(o crowdjoin.Oracle) crowdjoin.BatchOracle {
+	return crowdjoin.BatchOracleFunc(func(ps []crowdjoin.Pair) []crowdjoin.Label {
+		out := make([]crowdjoin.Label, len(ps))
+		for i, p := range ps {
+			out[i] = o.Label(p)
+		}
+		return out
+	})
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crowdjoin:", err)
+	os.Exit(1)
+}

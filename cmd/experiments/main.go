@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic workloads.
+//
+// Usage:
+//
+//	experiments [-exp all|fig10|fig11|fig12|fig13|fig14|fig15|table1|table2|extbudget|ext1to1] [-small] [-seed N]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crowdjoin/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig10..fig15, table1, table2")
+	small := flag.Bool("small", false, "use the reduced-scale configuration (fast smoke run)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *small {
+		cfg = experiments.SmallConfig()
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workloads ready in %v: paper %d records / %d candidates, product %d records / %d candidates\n\n",
+		time.Since(start).Round(time.Millisecond),
+		env.Paper.Dataset.Len(), len(env.Paper.Master),
+		env.Product.Dataset.Len(), len(env.Product.Master))
+
+	runners := []struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}{
+		{"fig10", func() (fmt.Stringer, error) { return env.Fig10(), nil }},
+		{"fig11", func() (fmt.Stringer, error) { return env.Fig11() }},
+		{"fig12", func() (fmt.Stringer, error) { return env.Fig12() }},
+		{"fig13", func() (fmt.Stringer, error) { return env.Fig13() }},
+		{"fig14", func() (fmt.Stringer, error) { return env.Fig14() }},
+		{"fig15", func() (fmt.Stringer, error) { return env.Fig15() }},
+		{"table1", func() (fmt.Stringer, error) { return env.Table1() }},
+		{"table2", func() (fmt.Stringer, error) { return env.Table2() }},
+		{"extbudget", func() (fmt.Stringer, error) { return env.ExtBudget() }},
+		{"ext1to1", func() (fmt.Stringer, error) { return env.ExtOneToOne() }},
+	}
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && !strings.EqualFold(*exp, r.name) {
+			continue
+		}
+		matched = true
+		t0 := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.name, err))
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if !matched {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

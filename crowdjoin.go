@@ -1,0 +1,172 @@
+package crowdjoin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdjoin/internal/clustergraph"
+	"crowdjoin/internal/core"
+)
+
+// Core labeling types. Pair IDs are dense within a candidate set; result
+// slices are indexed by Pair.ID.
+type (
+	// Pair is a candidate pair of objects with a machine likelihood.
+	Pair = core.Pair
+	// Label is a pair's ternary label state.
+	Label = core.Label
+	// Oracle answers one pair-labeling question (your crowd).
+	Oracle = core.Oracle
+	// OracleFunc adapts a function to Oracle.
+	OracleFunc = core.OracleFunc
+	// BatchOracle answers a round of questions at once.
+	BatchOracle = core.BatchOracle
+	// BatchOracleFunc adapts a function to BatchOracle.
+	BatchOracleFunc = core.BatchOracleFunc
+	// TruthOracle answers from a ground-truth entity assignment.
+	TruthOracle = core.TruthOracle
+	// Truth is a ground-truth predicate over object pairs.
+	Truth = core.Truth
+	// Result is a labeling outcome.
+	Result = core.Result
+	// ParallelResult adds per-iteration round sizes.
+	ParallelResult = core.ParallelResult
+	// TraceResult adds publish and availability traces.
+	TraceResult = core.TraceResult
+	// Platform is the crowdsourcing-backend surface LabelOnPlatform needs.
+	Platform = core.Platform
+	// PlatformOptions configures LabelOnPlatformOpts.
+	PlatformOptions = core.PlatformOptions
+	// SelectionPolicy is how a simulated crowd picks its next pair.
+	SelectionPolicy = core.SelectionPolicy
+	// OneToOneResult is LabelSequentialOneToOne's outcome.
+	OneToOneResult = core.OneToOneResult
+	// BudgetResult is LabelWithBudget's outcome.
+	BudgetResult = core.BudgetResult
+)
+
+// Label values.
+const (
+	Unlabeled   = core.Unlabeled
+	Matching    = core.Matching
+	NonMatching = core.NonMatching
+)
+
+// Simulated-crowd selection policies.
+const (
+	SelectFIFO                = core.SelectFIFO
+	SelectRandom              = core.SelectRandom
+	SelectAscendingLikelihood = core.SelectAscendingLikelihood
+)
+
+// LabelSequential runs the one-pair-at-a-time labeler: pairs are processed
+// in order, each either deduced from transitive relations or crowdsourced
+// via oracle.
+func LabelSequential(numObjects int, order []Pair, oracle Oracle) (*Result, error) {
+	return core.LabelSequential(numObjects, order, oracle)
+}
+
+// LabelParallel runs the parallel labeling algorithm: each iteration
+// crowdsources every pair that must be asked no matter how the still-open
+// pairs turn out, then deduces the rest.
+func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelResult, error) {
+	return core.LabelParallel(numObjects, order, oracle)
+}
+
+// LabelOnPlatform drives labeling through a Platform. With instant=true it
+// applies the instant-decision optimization, republishing newly mandatory
+// pairs after every answer.
+func LabelOnPlatform(numObjects int, order []Pair, pf Platform, instant bool) (*TraceResult, error) {
+	return core.LabelOnPlatform(numObjects, order, pf, instant)
+}
+
+// LabelOnPlatformOpts is LabelOnPlatform with explicit options, including
+// the incremental scan/deduction implementations (identical results,
+// less work per answer on large candidate sets).
+func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts PlatformOptions) (*TraceResult, error) {
+	return core.LabelOnPlatformOpts(numObjects, order, pf, opts)
+}
+
+// LabelSequentialOneToOne is the sequential labeler augmented with the
+// one-to-one constraint for joins between duplicate-free sources: a
+// matching answer for (a, b) additionally rules out every other partner
+// for a and for b. Extra savings on bipartite joins; wrong labels if a
+// source does contain duplicates.
+func LabelSequentialOneToOne(numObjects int, order []Pair, oracle Oracle) (*OneToOneResult, error) {
+	return core.LabelSequentialOneToOne(numObjects, order, oracle)
+}
+
+// LabelWithBudget crowdsources at most budget pairs; afterwards,
+// undeducible pairs fall back to the machine guess (likelihood ≥
+// guessThreshold → matching). Guessed labels never feed deduction.
+func LabelWithBudget(numObjects int, order []Pair, oracle Oracle, budget int, guessThreshold float64) (*BudgetResult, error) {
+	return core.LabelWithBudget(numObjects, order, oracle, budget, guessThreshold)
+}
+
+// ExpectedOrder sorts pairs by decreasing matching likelihood — the paper's
+// practical labeling-order heuristic.
+func ExpectedOrder(pairs []Pair) []Pair { return core.ExpectedOrder(pairs) }
+
+// OptimalOrder places all truly matching pairs first (requires ground
+// truth; an analysis reference, not achievable in production).
+func OptimalOrder(pairs []Pair, truth Truth) []Pair { return core.OptimalOrder(pairs, truth) }
+
+// WorstOrder places all non-matching pairs first (analysis reference).
+func WorstOrder(pairs []Pair, truth Truth) []Pair { return core.WorstOrder(pairs, truth) }
+
+// RandomOrder shuffles pairs uniformly.
+func RandomOrder(pairs []Pair, rng *rand.Rand) []Pair { return core.RandomOrder(pairs, rng) }
+
+// NewSimulatedCrowd returns an in-memory Platform whose answers come from
+// oracle and whose workers label outstanding pairs per policy
+// (SelectAscendingLikelihood is the non-matching-first optimization). rng
+// is required for SelectRandom.
+func NewSimulatedCrowd(oracle Oracle, policy SelectionPolicy, rng *rand.Rand) Platform {
+	return core.NewSimPlatform(oracle, policy, rng)
+}
+
+// Clusters returns the entity clusters implied by the matching labels:
+// connected components over numObjects objects. Labels are indexed by
+// Pair.ID. Objects appear in increasing order; clusters are ordered by
+// smallest member.
+func Clusters(numObjects int, pairs []Pair, labels []Label) ([][]int32, error) {
+	if len(labels) < len(pairs) {
+		return nil, fmt.Errorf("crowdjoin: %d labels for %d pairs", len(labels), len(pairs))
+	}
+	g := clustergraph.New(numObjects)
+	for _, p := range pairs {
+		if labels[p.ID] == Matching {
+			// ForceInsert: conflicting crowd labels collapse rather than
+			// error; positive labels win for clustering purposes.
+			g.ForceInsert(p.A, p.B, true)
+		}
+	}
+	return g.Clusters(), nil
+}
+
+// Deducer answers whether a pair's label follows from already-known labels,
+// exposing the paper's ClusterGraph for custom workflows.
+type Deducer struct {
+	g *clustergraph.Graph
+}
+
+// NewDeducer returns a Deducer over numObjects objects.
+func NewDeducer(numObjects int) *Deducer {
+	return &Deducer{g: clustergraph.New(numObjects)}
+}
+
+// Add records a labeled pair. It returns an error when the label
+// contradicts the transitive closure of earlier labels.
+func (d *Deducer) Add(a, b int32, matching bool) error { return d.g.Insert(a, b, matching) }
+
+// Deduce returns the label implied for (a, b) and whether one is implied.
+func (d *Deducer) Deduce(a, b int32) (Label, bool) {
+	switch d.g.Deduce(a, b) {
+	case clustergraph.DeducedMatching:
+		return Matching, true
+	case clustergraph.DeducedNonMatching:
+		return NonMatching, true
+	default:
+		return Unlabeled, false
+	}
+}

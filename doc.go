@@ -1,0 +1,37 @@
+// Package crowdjoin implements crowdsourced joins (entity resolution with a
+// human-in-the-loop) that exploit transitive relations to minimize the
+// number of pairs the crowd must label, reproducing "Leveraging Transitive
+// Relations for Crowdsourced Joins" (Wang, Li, Kraska, Franklin, Feng —
+// SIGMOD 2013).
+//
+// # The hybrid workflow
+//
+// A crowdsourced join finds all pairs of records that refer to the same
+// real-world entity. The hybrid workflow has a machine half and a human
+// half:
+//
+//  1. the machine computes a matching likelihood for record pairs via
+//     string similarity and keeps the pairs above a threshold — the
+//     candidate set (Candidates / CandidatesAcross);
+//  2. the crowd labels candidates, but because matching is transitive
+//     (a=b ∧ b=c ⇒ a=c; a=b ∧ b≠c ⇒ a≠c) many labels can be deduced
+//     instead of crowdsourced (LabelSequential, LabelParallel,
+//     LabelOnPlatform).
+//
+// The labeling order matters: labeling matching pairs first maximizes later
+// deductions. OptimalOrder needs ground truth (an analysis tool);
+// ExpectedOrder — likelihood descending — is the practical heuristic.
+//
+// # Choosing a labeler
+//
+// LabelSequential asks one pair at a time — minimal crowd cost, maximal
+// latency.
+// LabelParallel identifies whole rounds of pairs that every outcome forces
+// to the crowd and asks them together. LabelOnPlatform streams against a
+// Platform (your crowdsourcing backend) and with instant=true republishes
+// the moment an answer makes new pairs mandatory; NewSimulatedCrowd and
+// NewAMTSimulator provide in-memory platforms for testing and simulation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package crowdjoin

@@ -1,0 +1,70 @@
+// Quickstart: resolve six product listings with a simulated crowd, showing
+// the full hybrid workflow — machine candidates, expected labeling order,
+// transitive deduction, final clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdjoin"
+)
+
+func main() {
+	// Six listings: three describe one tablet, two describe one TV, and one
+	// is a loner.
+	texts := []string{
+		"apple ipad 2nd gen tablet 16gb black",
+		"apple ipad two tablet 16gb black",
+		"apple ipad 2 tablet black 16gb",
+		"sony kdl40 television lcd 40 inch",
+		"sony kdl40 lcd tv 40 inch black",
+		"dyson dc25 vacuum upright",
+	}
+
+	// Machine half: score pairs by token similarity, keep likely matches.
+	matcher := crowdjoin.Matcher{Threshold: 0.3}
+	pairs, err := matcher.Candidates(texts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine pass kept %d candidate pairs of %d possible\n",
+		len(pairs), len(texts)*(len(texts)-1)/2)
+
+	// Human half: label candidates in likelihood-descending order. The
+	// "crowd" here is a function; swap in your real crowdsourcing backend.
+	crowd := crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+		fmt.Printf("  crowd asked: %q vs %q\n", texts[p.A], texts[p.B])
+		truth := []int32{0, 0, 0, 1, 1, 2} // who actually matches whom
+		if truth[p.A] == truth[p.B] {
+			return crowdjoin.Matching
+		}
+		return crowdjoin.NonMatching
+	})
+	order := crowdjoin.ExpectedOrder(pairs)
+	res, err := crowdjoin.LabelSequential(len(texts), order, crowd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowdsourced %d pairs, deduced %d via transitive relations\n",
+		res.NumCrowdsourced, res.NumDeduced)
+
+	clusters, err := crowdjoin.Clusters(len(texts), pairs, res.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("entities found:")
+	for _, c := range clusters {
+		if len(c) == 1 {
+			continue
+		}
+		fmt.Printf("  cluster: ")
+		for i, o := range c {
+			if i > 0 {
+				fmt.Print(" == ")
+			}
+			fmt.Printf("%q", texts[o])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,296 @@
+// Package candgen implements the machine-based half of the paper's hybrid
+// workflow (Section 2.3, following CrowdER [25]): it computes a matching
+// likelihood for record pairs via string similarity and keeps only the pairs
+// above a likelihood threshold as the candidate set handed to the crowd.
+//
+// Records are pre-tokenized into sorted integer token ids so the similarity
+// of a pair costs one linear merge; a token inverted index (blocking) skips
+// pairs that share no token, which is lossless for any positive threshold.
+package candgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/dataset"
+	"crowdjoin/internal/similarity"
+)
+
+// Weighting selects how token overlap is scored.
+type Weighting uint8
+
+const (
+	// Unweighted scores plain Jaccard over distinct tokens.
+	Unweighted Weighting = iota
+	// IDFWeighted scores Jaccard with tokens weighted by smoothed inverse
+	// document frequency, de-emphasizing ubiquitous tokens.
+	IDFWeighted
+)
+
+// Scorer computes pair likelihoods for one dataset.
+type Scorer struct {
+	tokens    [][]int32 // sorted distinct token ids per record
+	idf       []float64 // per token id; nil for Unweighted
+	weighting Weighting
+}
+
+// NewScorer tokenizes every record of d and prepares similarity state.
+func NewScorer(d *dataset.Dataset, w Weighting) *Scorer {
+	dict := make(map[string]int32)
+	df := []int{}
+	s := &Scorer{
+		tokens:    make([][]int32, d.Len()),
+		weighting: w,
+	}
+	for i := range d.Records {
+		toks := similarity.TokenSet(d.Records[i].Text())
+		ids := make([]int32, 0, len(toks))
+		for _, t := range toks {
+			id, ok := dict[t]
+			if !ok {
+				id = int32(len(dict))
+				dict[t] = id
+				df = append(df, 0)
+			}
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		s.tokens[i] = ids
+		for _, id := range ids {
+			df[id]++
+		}
+	}
+	if w == IDFWeighted {
+		s.idf = make([]float64, len(df))
+		n := float64(d.Len())
+		for id, f := range df {
+			s.idf[id] = math.Log(1 + n/float64(1+f))
+		}
+	}
+	return s
+}
+
+// NumTokens returns the record count of the scorer's token table (for
+// inverted-index sizing).
+func (s *Scorer) NumTokens() int {
+	if s.idf != nil {
+		return len(s.idf)
+	}
+	max := int32(-1)
+	for _, ids := range s.tokens {
+		for _, id := range ids {
+			if id > max {
+				max = id
+			}
+		}
+	}
+	return int(max + 1)
+}
+
+// Similarity returns the likelihood that records a and b match, in [0,1].
+func (s *Scorer) Similarity(a, b int32) float64 {
+	ta, tb := s.tokens[a], s.tokens[b]
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if s.weighting == Unweighted {
+		inter := 0
+		i, j := 0, 0
+		for i < len(ta) && j < len(tb) {
+			switch {
+			case ta[i] == tb[j]:
+				inter++
+				i++
+				j++
+			case ta[i] < tb[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		union := len(ta) + len(tb) - inter
+		if union == 0 {
+			return 1
+		}
+		return float64(inter) / float64(union)
+	}
+	var inter, union float64
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] == tb[j]:
+			inter += s.idf[ta[i]]
+			union += s.idf[ta[i]]
+			i++
+			j++
+		case ta[i] < tb[j]:
+			union += s.idf[ta[i]]
+			i++
+		default:
+			union += s.idf[tb[j]]
+			j++
+		}
+	}
+	for ; i < len(ta); i++ {
+		union += s.idf[ta[i]]
+	}
+	for ; j < len(tb); j++ {
+		union += s.idf[tb[j]]
+	}
+	if union == 0 {
+		return 1
+	}
+	return inter / union
+}
+
+// Candidates returns every pair of d's pair universe whose likelihood is at
+// least minThreshold, sorted by likelihood descending (ties by object ids),
+// with dense pair IDs assigned in that order. minThreshold must be positive:
+// the inverted index only reaches pairs sharing a token.
+func Candidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
+	if minThreshold <= 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
+	}
+	var pairs []core.Pair
+	emit := func(a, b int32) {
+		if a > b {
+			a, b = b, a // normalize so A < B regardless of probe direction
+		}
+		if sim := s.Similarity(a, b); sim >= minThreshold {
+			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})
+		}
+	}
+	if d.Bipartite {
+		// Inverted index over the smaller side, probe with the larger.
+		probe, build := d.SourceA, d.SourceB
+		if len(probe) < len(build) {
+			probe, build = build, probe
+		}
+		index := buildIndex(s, build)
+		seen := make([]int32, d.Len()) // last probe id that touched a build record, +1
+		for pi, a := range probe {
+			mark := int32(pi + 1)
+			for _, tok := range s.tokens[a] {
+				for _, b := range index[tok] {
+					if seen[b] == mark {
+						continue
+					}
+					seen[b] = mark
+					emit(a, b)
+				}
+			}
+		}
+	} else {
+		index := buildIndex(s, nil)
+		seen := make([]int32, d.Len())
+		for a := int32(0); a < int32(d.Len()); a++ {
+			mark := a + 1
+			for _, tok := range s.tokens[a] {
+				for _, b := range index[tok] {
+					if b >= a { // each unordered pair once; index is in id order
+						break
+					}
+					if seen[b] == mark {
+						continue
+					}
+					seen[b] = mark
+					emit(a, b)
+				}
+			}
+		}
+	}
+	SortByLikelihood(pairs)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	return pairs, nil
+}
+
+// buildIndex returns token id → record ids (ascending). With ids == nil it
+// indexes every record.
+func buildIndex(s *Scorer, ids []int32) [][]int32 {
+	index := make([][]int32, s.NumTokens())
+	add := func(r int32) {
+		for _, tok := range s.tokens[r] {
+			index[tok] = append(index[tok], r)
+		}
+	}
+	if ids == nil {
+		for r := int32(0); r < int32(len(s.tokens)); r++ {
+			add(r)
+		}
+	} else {
+		sorted := append([]int32(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, r := range sorted {
+			add(r)
+		}
+	}
+	return index
+}
+
+// SortByLikelihood sorts pairs by likelihood descending, breaking ties by
+// object ids for determinism.
+func SortByLikelihood(pairs []core.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Likelihood != pairs[j].Likelihood {
+			return pairs[i].Likelihood > pairs[j].Likelihood
+		}
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}
+
+// ForThreshold returns the prefix of a likelihood-descending master list
+// whose likelihood is ≥ threshold, re-assigning dense pair IDs. The master
+// list is not modified.
+func ForThreshold(master []core.Pair, threshold float64) []core.Pair {
+	hi := sort.Search(len(master), func(i int) bool { return master[i].Likelihood < threshold })
+	out := make([]core.Pair, hi)
+	copy(out, master[:hi])
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// ExhaustiveCandidates computes the same result as Candidates without the
+// inverted index, scoring every pair of the universe. It exists as the
+// correctness reference and the blocking ablation baseline.
+func ExhaustiveCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
+	if minThreshold <= 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
+	}
+	var pairs []core.Pair
+	emit := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		if sim := s.Similarity(a, b); sim >= minThreshold {
+			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})
+		}
+	}
+	if d.Bipartite {
+		for _, a := range d.SourceA {
+			for _, b := range d.SourceB {
+				emit(a, b)
+			}
+		}
+	} else {
+		n := int32(d.Len())
+		for b := int32(0); b < n; b++ {
+			for a := int32(0); a < b; a++ {
+				emit(a, b)
+			}
+		}
+	}
+	SortByLikelihood(pairs)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	return pairs, nil
+}

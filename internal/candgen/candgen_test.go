@@ -1,0 +1,278 @@
+package candgen
+
+import (
+	"testing"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/dataset"
+	"crowdjoin/internal/metrics"
+	"crowdjoin/internal/similarity"
+)
+
+func smallCora(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultCoraConfig()
+	cfg.Records = 200
+	cfg.LargestCluster = 30
+	d := dataset.GenerateCora(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func smallAbtBuy(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultAbtBuyConfig()
+	cfg.AbtRecords = 150
+	cfg.BuyRecords = 160
+	d := dataset.GenerateAbtBuy(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestBlockedMatchesExhaustive: the inverted-index candidate generator and
+// the exhaustive scorer agree exactly, on both dataset shapes and both
+// weightings.
+func TestBlockedMatchesExhaustive(t *testing.T) {
+	for _, w := range []Weighting{Unweighted, IDFWeighted} {
+		for _, d := range []*dataset.Dataset{smallCora(t), smallAbtBuy(t)} {
+			s := NewScorer(d, w)
+			blocked, err := Candidates(d, s, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exhaustive, err := ExhaustiveCandidates(d, s, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blocked) != len(exhaustive) {
+				t.Fatalf("%s w=%d: blocked %d pairs, exhaustive %d",
+					d.Name, w, len(blocked), len(exhaustive))
+			}
+			for i := range blocked {
+				if blocked[i] != exhaustive[i] {
+					t.Fatalf("%s w=%d: pair %d differs: %v vs %v",
+						d.Name, w, i, blocked[i], exhaustive[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCandidatesSortedDenseValid(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, Unweighted)
+	pairs, err := Candidates(d, s, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no candidates at threshold 0.2")
+	}
+	if err := core.ValidatePairs(d.Len(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Likelihood > pairs[i-1].Likelihood {
+			t.Fatalf("pairs not sorted at %d: %v after %v", i, pairs[i], pairs[i-1])
+		}
+	}
+	for i, p := range pairs {
+		if p.ID != i {
+			t.Fatalf("pair at index %d has ID %d", i, p.ID)
+		}
+		if p.A >= p.B {
+			t.Fatalf("pair %v not normalized A<B", p)
+		}
+	}
+}
+
+func TestCandidatesRespectBipartite(t *testing.T) {
+	d := smallAbtBuy(t)
+	s := NewScorer(d, Unweighted)
+	pairs, err := Candidates(d, s, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := make(map[int32]string, d.Len())
+	for _, id := range d.SourceA {
+		side[id] = "abt"
+	}
+	for _, id := range d.SourceB {
+		side[id] = "buy"
+	}
+	for _, p := range pairs {
+		if side[p.A] == side[p.B] {
+			t.Fatalf("pair %v joins two %s records", p, side[p.A])
+		}
+	}
+}
+
+func TestForThreshold(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, Unweighted)
+	master, err := Candidates(d, s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []float64{0.1, 0.3, 0.5, 0.9} {
+		sub := ForThreshold(master, th)
+		for i, p := range sub {
+			if p.Likelihood < th {
+				t.Fatalf("threshold %v: pair %v below threshold", th, p)
+			}
+			if p.ID != i {
+				t.Fatalf("threshold %v: pair at %d has ID %d", th, i, p.ID)
+			}
+		}
+		// Completeness: next master pair (if any) is below threshold.
+		if len(sub) < len(master) && master[len(sub)].Likelihood >= th {
+			t.Fatalf("threshold %v: cut too early at %d", th, len(sub))
+		}
+	}
+	if len(ForThreshold(master, 1.01)) != 0 {
+		t.Error("impossible threshold should produce no pairs")
+	}
+	// Master list IDs must be untouched.
+	for i, p := range master {
+		if p.ID != i {
+			t.Fatal("ForThreshold mutated the master list")
+		}
+	}
+}
+
+func TestCandidatesThresholdValidation(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, Unweighted)
+	if _, err := Candidates(d, s, 0); err == nil {
+		t.Error("threshold 0 accepted (blocking would be lossy)")
+	}
+	if _, err := Candidates(d, s, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+// TestLikelihoodRanksMatchesAboveNonMatches: the area-under-curve style
+// check that the machine likelihood is informative: a random matching pair
+// outscores a random non-matching pair most of the time.
+func TestLikelihoodRanksMatchesAboveNonMatches(t *testing.T) {
+	for _, d := range []*dataset.Dataset{smallCora(t), smallAbtBuy(t)} {
+		s := NewScorer(d, Unweighted)
+		pairs, err := Candidates(d, s, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walk the sorted list: matching pairs should concentrate at the top.
+		half := len(pairs) / 2
+		top, bottom := 0, 0
+		for i, p := range pairs {
+			if d.Matches(p.A, p.B) {
+				if i < half {
+					top++
+				} else {
+					bottom++
+				}
+			}
+		}
+		if top <= bottom {
+			t.Errorf("%s: matching pairs top=%d bottom=%d; likelihood uninformative", d.Name, top, bottom)
+		}
+	}
+}
+
+// TestRecallAtThresholdShape: candidate recall (fraction of true matching
+// pairs above threshold) decreases with the threshold and stays within the
+// regime the paper's datasets exhibit.
+func TestRecallAtThresholdShape(t *testing.T) {
+	d := smallAbtBuy(t)
+	s := NewScorer(d, Unweighted)
+	master, err := Candidates(d, s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := d.Entities()
+	prev := 1.0
+	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		sub := ForThreshold(master, th)
+		matching := 0
+		for _, p := range sub {
+			if truth[p.A] == truth[p.B] {
+				matching++
+			}
+		}
+		recall := float64(matching) / float64(d.TrueMatchingPairs())
+		t.Logf("product threshold %.1f: candidates=%d recall=%.3f", th, len(sub), recall)
+		if recall > prev+1e-9 {
+			t.Errorf("recall increased when raising threshold to %v", th)
+		}
+		prev = recall
+	}
+}
+
+func TestScorerSimilaritySymmetricRange(t *testing.T) {
+	d := smallCora(t)
+	for _, w := range []Weighting{Unweighted, IDFWeighted} {
+		s := NewScorer(d, w)
+		for a := int32(0); a < 40; a++ {
+			for b := a + 1; b < 40; b++ {
+				s1, s2 := s.Similarity(a, b), s.Similarity(b, a)
+				if s1 != s2 {
+					t.Fatalf("asymmetric similarity for (%d,%d)", a, b)
+				}
+				if s1 < 0 || s1 > 1 {
+					t.Fatalf("similarity %v outside [0,1]", s1)
+				}
+			}
+			if s.Similarity(a, a) != 1 {
+				t.Fatalf("self similarity of %d != 1", a)
+			}
+		}
+	}
+}
+
+// quality metrics integration smoke test: a perfect labeling of candidates
+// yields precision 1 and recall equal to the candidate recall.
+func TestMetricsIntegration(t *testing.T) {
+	d := smallAbtBuy(t)
+	s := NewScorer(d, Unweighted)
+	pairs, err := Candidates(d, s, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := d.Entities()
+	labels := make([]core.Label, len(pairs))
+	for _, p := range pairs {
+		labels[p.ID] = core.LabelOf(truth[p.A] == truth[p.B])
+	}
+	q := metrics.Evaluate(pairs, labels, truth, d.TrueMatchingPairs())
+	if q.Precision != 1 {
+		t.Errorf("perfect labels: precision = %v, want 1", q.Precision)
+	}
+	if q.Recall <= 0 || q.Recall > 1 {
+		t.Errorf("recall = %v outside (0,1]", q.Recall)
+	}
+}
+
+// TestScorerMatchesSimilarityPackage: the scorer's merge-based unweighted
+// Jaccard over token ids equals the similarity package's set Jaccard over
+// the raw token sets, record for record.
+func TestScorerMatchesSimilarityPackage(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, Unweighted)
+	tok := make([][]string, d.Len())
+	for i := range d.Records {
+		tok[i] = similarity.TokenSet(d.Records[i].Text())
+	}
+	for a := int32(0); a < 60; a++ {
+		for b := a + 1; b < 60; b++ {
+			got := s.Similarity(a, b)
+			want := similarity.Jaccard(tok[a], tok[b])
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("records (%d,%d): scorer %v, similarity.Jaccard %v", a, b, got, want)
+			}
+		}
+	}
+}

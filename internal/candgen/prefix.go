@@ -1,0 +1,150 @@
+package candgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/dataset"
+)
+
+// PrefixCandidates computes the same result as Candidates for Unweighted
+// scorers using prefix filtering (the classic set-similarity-join
+// optimization): order all tokens globally from rare to frequent; a pair
+// can reach Jaccard ≥ t only if the two records share a token within their
+// first |x| − ⌈t·|x|⌉ + 1 tokens of that order, and only if their set
+// sizes are within a factor t of each other. Indexing and probing only
+// prefixes skips most of the low-overlap pairs a full token index touches.
+//
+// IDF-weighted scorers need a different bound; PrefixCandidates rejects
+// them rather than silently losing pairs.
+func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
+	if minThreshold <= 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
+	}
+	if s.weighting != Unweighted {
+		return nil, fmt.Errorf("candgen: prefix filtering requires an unweighted scorer")
+	}
+
+	// Global rare-first token order; ties broken by id for determinism.
+	numTokens := s.NumTokens()
+	df := make([]int32, numTokens)
+	for _, ids := range s.tokens {
+		for _, id := range ids {
+			df[id]++
+		}
+	}
+	rank := make([]int32, numTokens)
+	byRarity := make([]int32, numTokens)
+	for i := range byRarity {
+		byRarity[i] = int32(i)
+	}
+	sort.Slice(byRarity, func(i, j int) bool {
+		a, b := byRarity[i], byRarity[j]
+		if df[a] != df[b] {
+			return df[a] < df[b]
+		}
+		return a < b
+	})
+	for pos, id := range byRarity {
+		rank[id] = int32(pos)
+	}
+
+	// Per record: tokens sorted rare-first, truncated to the prefix.
+	prefixes := make([][]int32, d.Len())
+	for r, ids := range s.tokens {
+		if len(ids) == 0 {
+			continue
+		}
+		sorted := append([]int32(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return rank[sorted[i]] < rank[sorted[j]] })
+		plen := len(ids) - int(math.Ceil(minThreshold*float64(len(ids)))) + 1
+		if plen < 1 {
+			plen = 1
+		}
+		if plen > len(sorted) {
+			plen = len(sorted)
+		}
+		prefixes[r] = sorted[:plen]
+	}
+
+	lengthOK := func(a, b int32) bool {
+		la, lb := float64(len(s.tokens[a])), float64(len(s.tokens[b]))
+		return la >= minThreshold*lb && lb >= minThreshold*la
+	}
+
+	var pairs []core.Pair
+	emit := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		if sim := s.Similarity(a, b); sim >= minThreshold {
+			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})
+		}
+	}
+	if d.Bipartite {
+		probe, build := d.SourceA, d.SourceB
+		if len(probe) < len(build) {
+			probe, build = build, probe
+		}
+		index := buildPrefixIndex(prefixes, numTokens, build)
+		seen := make([]int32, d.Len())
+		for pi, a := range probe {
+			mark := int32(pi + 1)
+			for _, tok := range prefixes[a] {
+				for _, b := range index[tok] {
+					if seen[b] == mark || !lengthOK(a, b) {
+						continue
+					}
+					seen[b] = mark
+					emit(a, b)
+				}
+			}
+		}
+	} else {
+		index := buildPrefixIndex(prefixes, numTokens, nil)
+		seen := make([]int32, d.Len())
+		for a := int32(0); a < int32(d.Len()); a++ {
+			mark := a + 1
+			for _, tok := range prefixes[a] {
+				for _, b := range index[tok] {
+					if b >= a {
+						break
+					}
+					if seen[b] == mark || !lengthOK(a, b) {
+						continue
+					}
+					seen[b] = mark
+					emit(a, b)
+				}
+			}
+		}
+	}
+	SortByLikelihood(pairs)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	return pairs, nil
+}
+
+func buildPrefixIndex(prefixes [][]int32, numTokens int, ids []int32) [][]int32 {
+	index := make([][]int32, numTokens)
+	add := func(r int32) {
+		for _, tok := range prefixes[r] {
+			index[tok] = append(index[tok], r)
+		}
+	}
+	if ids == nil {
+		for r := int32(0); r < int32(len(prefixes)); r++ {
+			add(r)
+		}
+	} else {
+		sorted := append([]int32(nil), ids...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, r := range sorted {
+			add(r)
+		}
+	}
+	return index
+}

@@ -1,0 +1,63 @@
+package clustergraph
+
+// LabeledPair is a pair with a known label, used by the brute-force reference
+// deducer and by tests.
+type LabeledPair struct {
+	A, B     int32
+	Matching bool
+}
+
+// BruteForceDeduce answers the deduction question by explicit graph search,
+// mirroring the paper's Lemma 1 conditions directly: it looks for a path from
+// a to b containing at most one non-matching pair.
+//
+// It is the "naive solution" of Section 3.2, kept as a correctness reference
+// (tests cross-check Graph against it) and as the baseline for the
+// deduction-strategy ablation bench. Complexity is O(V+E) per query — two
+// BFS passes — rather than the exponential path enumeration the paper warns
+// about, but it still rebuilds state on every call, unlike Graph.
+func BruteForceDeduce(n int, labeled []LabeledPair, a, b int32) Verdict {
+	// Adjacency restricted to matching edges.
+	match := make([][]int32, n)
+	var nonMatch [][2]int32
+	for _, p := range labeled {
+		if p.Matching {
+			match[p.A] = append(match[p.A], p.B)
+			match[p.B] = append(match[p.B], p.A)
+		} else {
+			nonMatch = append(nonMatch, [2]int32{p.A, p.B})
+		}
+	}
+
+	reach := func(src int32) []bool {
+		seen := make([]bool, n)
+		seen[src] = true
+		queue := []int32{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range match[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		return seen
+	}
+
+	fromA := reach(a)
+	if fromA[b] {
+		return DeducedMatching
+	}
+	fromB := reach(b)
+	// A single non-matching hop (x, y) deduces non-matching when a reaches x
+	// through matches and y reaches b through matches (or the symmetric case).
+	for _, e := range nonMatch {
+		x, y := e[0], e[1]
+		if (fromA[x] && fromB[y]) || (fromA[y] && fromB[x]) {
+			return DeducedNonMatching
+		}
+	}
+	return Undeduced
+}

@@ -1,0 +1,281 @@
+// Package clustergraph implements the paper's ClusterGraph (Section 3.2):
+// a graph whose vertices are clusters of matching objects (maintained with
+// union-find) and whose edges connect clusters known to be non-matching.
+//
+// It answers the deduction question of Lemma 1 in amortized near-constant
+// time: a pair (o, o') is deducible as matching iff o and o' are in the same
+// cluster, deducible as non-matching iff their clusters are joined by an
+// edge, and undeducible otherwise (every path between them would need more
+// than one non-matching pair).
+package clustergraph
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdjoin/internal/unionfind"
+)
+
+// ErrConflict is returned when an inserted label contradicts the transitive
+// closure of previously inserted labels (e.g. non-matching within a cluster).
+var ErrConflict = errors.New("clustergraph: label conflicts with transitive closure")
+
+// Verdict is the outcome of a deduction attempt.
+type Verdict uint8
+
+const (
+	// Undeduced means the pair's label cannot be inferred from the graph.
+	Undeduced Verdict = iota
+	// DeducedMatching means a path of matching pairs connects the objects.
+	DeducedMatching
+	// DeducedNonMatching means a path with exactly one non-matching pair
+	// connects the objects.
+	DeducedNonMatching
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Undeduced:
+		return "undeduced"
+	case DeducedMatching:
+		return "matching"
+	case DeducedNonMatching:
+		return "non-matching"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Graph is the ClusterGraph over a dense universe of n objects.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	uf *unionfind.UF
+	// adj[r] is the set of cluster roots joined to root r by a
+	// non-matching edge. Symmetric: b ∈ adj[a] ⇔ a ∈ adj[b].
+	adj   map[int32]map[int32]struct{}
+	edges int // number of distinct non-matching cluster edges
+}
+
+// New returns an empty ClusterGraph over objects 0..n-1: every object is a
+// singleton cluster and there are no non-matching edges.
+func New(n int) *Graph {
+	return &Graph{
+		uf:  unionfind.New(n),
+		adj: make(map[int32]map[int32]struct{}),
+	}
+}
+
+// Len returns the size of the object universe.
+func (g *Graph) Len() int { return g.uf.Len() }
+
+// NumClusters returns the current number of clusters.
+func (g *Graph) NumClusters() int { return g.uf.Sets() }
+
+// NumEdges returns the number of distinct non-matching edges between clusters.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// SameCluster reports whether objects a and b are in the same cluster, i.e.
+// connected by a path of matching pairs.
+func (g *Graph) SameCluster(a, b int32) bool { return g.uf.Same(a, b) }
+
+// Root returns the canonical representative of a's cluster. Roots are
+// stable only until the next merge involving the cluster.
+func (g *Graph) Root(a int32) int32 { return g.uf.Find(a) }
+
+// HasEdge reports whether the clusters of a and b are joined by a
+// non-matching edge. HasEdge(a, b) is false when SameCluster(a, b).
+func (g *Graph) HasEdge(a, b int32) bool {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	_, ok := g.adj[ra][rb]
+	return ok
+}
+
+// Deduce applies Lemma 1 to the pair (a, b).
+func (g *Graph) Deduce(a, b int32) Verdict {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return DeducedMatching
+	}
+	if _, ok := g.adj[ra][rb]; ok {
+		return DeducedNonMatching
+	}
+	return Undeduced
+}
+
+// InsertMatching records that a and b are matching, merging their clusters
+// and re-pointing non-matching edges at the surviving root.
+//
+// It returns ErrConflict when the graph already implies a ≠ b; the graph is
+// left unchanged in that case.
+func (g *Graph) InsertMatching(a, b int32) error {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return nil // already implied
+	}
+	if _, ok := g.adj[ra][rb]; ok {
+		return fmt.Errorf("%w: objects %d and %d are non-matching by deduction", ErrConflict, a, b)
+	}
+	root, absorbed, _ := g.uf.Union(ra, rb)
+	g.mergeEdges(root, absorbed)
+	return nil
+}
+
+// mergeEdges re-points every non-matching edge of the absorbed root at the
+// surviving root, deduplicating edges that now coincide.
+func (g *Graph) mergeEdges(root, absorbed int32) {
+	old := g.adj[absorbed]
+	if len(old) == 0 {
+		delete(g.adj, absorbed)
+		return
+	}
+	dst := g.adj[root]
+	if dst == nil {
+		dst = make(map[int32]struct{}, len(old))
+		g.adj[root] = dst
+	}
+	for nb := range old {
+		delete(g.adj[nb], absorbed)
+		if nb == root {
+			// An edge between the two merged clusters would be a
+			// conflict; InsertMatching checks before unioning, so this
+			// cannot happen. Guard to keep the invariant obvious.
+			panic("clustergraph: self edge after merge")
+		}
+		if _, dup := dst[nb]; dup {
+			g.edges-- // two distinct edges collapsed into one
+			continue
+		}
+		dst[nb] = struct{}{}
+		g.adj[nb][root] = struct{}{}
+	}
+	delete(g.adj, absorbed)
+}
+
+// InsertNonMatching records that a and b are non-matching, adding an edge
+// between their clusters.
+//
+// It returns ErrConflict when the graph already implies a = b; the graph is
+// left unchanged in that case.
+func (g *Graph) InsertNonMatching(a, b int32) error {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return fmt.Errorf("%w: objects %d and %d are matching by deduction", ErrConflict, a, b)
+	}
+	if _, ok := g.adj[ra][rb]; ok {
+		return nil // already implied
+	}
+	g.addEdge(ra, rb)
+	return nil
+}
+
+func (g *Graph) addEdge(ra, rb int32) {
+	if g.adj[ra] == nil {
+		g.adj[ra] = make(map[int32]struct{})
+	}
+	if g.adj[rb] == nil {
+		g.adj[rb] = make(map[int32]struct{})
+	}
+	g.adj[ra][rb] = struct{}{}
+	g.adj[rb][ra] = struct{}{}
+	g.edges++
+}
+
+// Insert records a labeled pair: matching when matching is true, otherwise
+// non-matching.
+func (g *Graph) Insert(a, b int32, matching bool) error {
+	if matching {
+		return g.InsertMatching(a, b)
+	}
+	return g.InsertNonMatching(a, b)
+}
+
+// ForceInsert records a pair under minimum-non-matching-count semantics
+// instead of strict consistency. It is the insert Algorithm 3's optimistic
+// scan needs: there, unlabeled pairs are assumed matching, so actual labels
+// can contradict assumed merges, and the graph must keep answering "what is
+// the minimum number of non-matching pairs on any path" correctly:
+//
+//   - a non-matching pair inside a cluster is ignored — a zero-non-matching
+//     path already connects its objects, so the edge can never lie on a
+//     minimal path;
+//   - a matching pair across an existing non-matching edge merges the
+//     clusters and drops that edge, which has become redundant the same way.
+//
+// With these rules Deduce returns exactly min(#non-matching) ∈ {0, 1, ≥2}
+// over paths of the inserted multigraph.
+func (g *Graph) ForceInsert(a, b int32, matching bool) {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return // matching: implied; non-matching: redundant edge, ignore
+	}
+	if !matching {
+		if _, ok := g.adj[ra][rb]; !ok {
+			g.addEdge(ra, rb)
+		}
+		return
+	}
+	if _, ok := g.adj[ra][rb]; ok {
+		// Drop the direct edge before merging; mergeEdges re-points the
+		// remaining edges, which all lead to third clusters.
+		delete(g.adj[ra], rb)
+		delete(g.adj[rb], ra)
+		g.edges--
+	}
+	root, absorbed, _ := g.uf.Union(ra, rb)
+	g.mergeEdges(root, absorbed)
+}
+
+// ClusterSize returns the number of objects in a's cluster.
+func (g *Graph) ClusterSize(a int32) int32 { return g.uf.SizeOf(a) }
+
+// Clusters returns the current clusters; see unionfind.UF.Clusters for
+// ordering guarantees. Intended for reporting and tests.
+func (g *Graph) Clusters() [][]int32 { return g.uf.Clusters() }
+
+// Clone returns an independent deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		uf:    g.uf.Clone(),
+		adj:   make(map[int32]map[int32]struct{}, len(g.adj)),
+		edges: g.edges,
+	}
+	for r, set := range g.adj {
+		cp := make(map[int32]struct{}, len(set))
+		for nb := range set {
+			cp[nb] = struct{}{}
+		}
+		c.adj[r] = cp
+	}
+	return c
+}
+
+// CloneInto copies g's state into dst, which must cover the same universe;
+// dst's allocations are reused where possible. It returns dst.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst.Len() != g.Len() {
+		panic("clustergraph: CloneInto size mismatch")
+	}
+	g.uf.CloneInto(dst.uf)
+	clear(dst.adj)
+	for r, set := range g.adj {
+		cp := make(map[int32]struct{}, len(set))
+		for nb := range set {
+			cp[nb] = struct{}{}
+		}
+		dst.adj[r] = cp
+	}
+	dst.edges = g.edges
+	return dst
+}
+
+// Reset restores the graph to n singleton clusters with no edges, retaining
+// allocated capacity where possible.
+func (g *Graph) Reset() {
+	g.uf.Reset()
+	clear(g.adj)
+	g.edges = 0
+}

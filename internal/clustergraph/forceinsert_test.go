@@ -1,0 +1,159 @@
+package clustergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// minNonMatchingOnPath computes, by 0-1 BFS over the labeled multigraph,
+// the minimum number of non-matching edges on any path from a to b
+// (matching edges cost 0, non-matching edges cost 1), or -1 when a and b
+// are disconnected. This is the exact semantics ForceInsert-built graphs
+// must classify into {0, 1, ≥2}.
+func minNonMatchingOnPath(n int, edges []LabeledPair, a, b int32) int {
+	type adj struct {
+		to   int32
+		cost int
+	}
+	g := make([][]adj, n)
+	for _, e := range edges {
+		cost := 1
+		if e.Matching {
+			cost = 0
+		}
+		g[e.A] = append(g[e.A], adj{to: e.B, cost: cost})
+		g[e.B] = append(g[e.B], adj{to: e.A, cost: cost})
+	}
+	const inf = 1 << 30
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[a] = 0
+	// 0-1 BFS with a deque.
+	deque := []int32{a}
+	for len(deque) > 0 {
+		v := deque[0]
+		deque = deque[1:]
+		for _, e := range g[v] {
+			if d := dist[v] + e.cost; d < dist[e.to] {
+				dist[e.to] = d
+				if e.cost == 0 {
+					deque = append([]int32{e.to}, deque...)
+				} else {
+					deque = append(deque, e.to)
+				}
+			}
+		}
+	}
+	if dist[b] == inf {
+		return -1
+	}
+	return dist[b]
+}
+
+// TestQuickForceInsertIsExactMinNonMatchingClassifier: on arbitrary — in
+// particular inconsistent — labeled multigraphs, the ForceInsert-built
+// graph answers Deduce exactly as the min-non-matching path count
+// classifies: 0 → matching, 1 → non-matching, ≥2 or disconnected →
+// undeduced. This is the property Algorithm 3's optimistic scan relies on.
+func TestQuickForceInsertIsExactMinNonMatchingClassifier(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		k := rng.Intn(3 * n)
+		edges := make([]LabeledPair, 0, k)
+		g := New(n)
+		for len(edges) < k {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			e := LabeledPair{A: a, B: b, Matching: rng.Intn(2) == 0}
+			edges = append(edges, e)
+			g.ForceInsert(e.A, e.B, e.Matching)
+		}
+		for a := int32(0); a < int32(n); a++ {
+			for b := a + 1; b < int32(n); b++ {
+				min := minNonMatchingOnPath(n, edges, a, b)
+				got := g.Deduce(a, b)
+				var want Verdict
+				switch {
+				case min == 0:
+					want = DeducedMatching
+				case min == 1:
+					want = DeducedNonMatching
+				default: // ≥2 or disconnected
+					want = Undeduced
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForceInsertDropsRedundantEdge: the documented drop cases.
+func TestForceInsertDropsRedundantEdge(t *testing.T) {
+	// Non-matching edge inside a cluster is ignored.
+	g := New(3)
+	g.ForceInsert(0, 1, true)
+	g.ForceInsert(0, 1, false) // contradicts; redundant for minima
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if g.Deduce(0, 1) != DeducedMatching {
+		t.Error("pair should stay matching (0-cost path exists)")
+	}
+
+	// Matching merge across an existing non-matching edge drops the edge.
+	g = New(3)
+	g.ForceInsert(0, 1, false)
+	g.ForceInsert(0, 1, true)
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges after merge = %d, want 0", g.NumEdges())
+	}
+	if g.Deduce(0, 1) != DeducedMatching {
+		t.Error("merged pair should deduce matching")
+	}
+	if g.NumClusters() != 2 {
+		t.Errorf("NumClusters = %d, want 2", g.NumClusters())
+	}
+}
+
+// TestQuickForceInsertMatchesInsertOnConsistentInput: on consistent label
+// sets ForceInsert and Insert build identical structures.
+func TestQuickForceInsertMatchesInsertOnConsistentInput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		pairs := randomConsistentPairs(rng, n, 2*n)
+		strict, forced := New(n), New(n)
+		for _, p := range pairs {
+			if err := strict.Insert(p.A, p.B, p.Matching); err != nil {
+				return false
+			}
+			forced.ForceInsert(p.A, p.B, p.Matching)
+		}
+		if strict.NumClusters() != forced.NumClusters() || strict.NumEdges() != forced.NumEdges() {
+			return false
+		}
+		for a := int32(0); a < int32(n); a++ {
+			for b := a + 1; b < int32(n); b++ {
+				if strict.Deduce(a, b) != forced.Deduce(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// BudgetResult extends Result with the pairs whose labels were guessed from
+// the machine likelihood after the crowdsourcing budget ran out.
+type BudgetResult struct {
+	Result
+	// Guessed marks pairs labeled by thresholding the likelihood rather
+	// than by the crowd or by deduction, indexed by Pair.ID.
+	Guessed []bool
+	// NumGuessed counts them.
+	NumGuessed int
+}
+
+// LabelWithBudget is the sequential labeler under a crowdsourcing budget —
+// the money/quality trade-off the paper's Section 8 leaves as future work
+// (cf. Whang et al.'s budgeted question selection): at most budget pairs
+// are crowdsourced; once the budget is spent, undeducible pairs fall back
+// to the machine guess likelihood ≥ guessThreshold → matching.
+//
+// Guessed labels never enter the deduction graph: they are low-confidence
+// and would otherwise contaminate transitive closure.
+func LabelWithBudget(numObjects int, order []Pair, oracle Oracle, budget int, guessThreshold float64) (*BudgetResult, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("core: negative budget %d", budget)
+	}
+	res := &BudgetResult{
+		Result:  *newResult(len(order)),
+		Guessed: make([]bool, len(order)),
+	}
+	g := clustergraph.New(numObjects)
+	for _, p := range order {
+		switch g.Deduce(p.A, p.B) {
+		case clustergraph.DeducedMatching:
+			res.Labels[p.ID] = Matching
+			res.NumDeduced++
+			continue
+		case clustergraph.DeducedNonMatching:
+			res.Labels[p.ID] = NonMatching
+			res.NumDeduced++
+			continue
+		}
+		if res.NumCrowdsourced < budget {
+			l := oracle.Label(p)
+			if err := checkAnswer(p, l); err != nil {
+				return nil, err
+			}
+			if err := g.Insert(p.A, p.B, l == Matching); err != nil {
+				return nil, fmt.Errorf("core: budget labeling: %w", err)
+			}
+			res.Labels[p.ID] = l
+			res.Crowdsourced[p.ID] = true
+			res.NumCrowdsourced++
+			continue
+		}
+		res.Labels[p.ID] = LabelOf(p.Likelihood >= guessThreshold)
+		res.Guessed[p.ID] = true
+		res.NumGuessed++
+	}
+	return res, nil
+}

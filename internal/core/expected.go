@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// MaxWorldPairs bounds the candidate-set size for exact expected-cost
+// computation; enumeration is exponential in the number of pairs.
+const MaxWorldPairs = 20
+
+// World is one transitively consistent complete labeling of a candidate
+// set, with its probability normalized over all consistent labelings —
+// exactly the possibility enumeration of Section 4.2 (Example 4).
+type World struct {
+	// Labels is indexed by Pair.ID; entries are Matching or NonMatching.
+	Labels []Label
+	// P is the world's normalized probability.
+	P float64
+}
+
+// ConsistentWorlds enumerates every complete labeling of pairs that is
+// consistent under transitive relations, weighting each by the product of
+// per-pair likelihoods and normalizing over the consistent set.
+func ConsistentWorlds(numObjects int, pairs []Pair) ([]World, error) {
+	if err := ValidatePairs(numObjects, pairs); err != nil {
+		return nil, err
+	}
+	k := len(pairs)
+	if k > MaxWorldPairs {
+		return nil, fmt.Errorf("core: %d pairs exceed MaxWorldPairs=%d for world enumeration", k, MaxWorldPairs)
+	}
+	var worlds []World
+	total := 0.0
+	g := clustergraph.New(numObjects)
+	for mask := 0; mask < 1<<k; mask++ {
+		g.Reset()
+		consistent := true
+		p := 1.0
+		for i, pr := range pairs {
+			matching := mask&(1<<i) != 0
+			if err := g.Insert(pr.A, pr.B, matching); err != nil {
+				consistent = false
+				break
+			}
+			if matching {
+				p *= pr.Likelihood
+			} else {
+				p *= 1 - pr.Likelihood
+			}
+		}
+		if !consistent || p == 0 {
+			continue
+		}
+		labels := make([]Label, k)
+		for i, pr := range pairs {
+			labels[pr.ID] = LabelOf(mask&(1<<i) != 0)
+		}
+		worlds = append(worlds, World{Labels: labels, P: p})
+		total += p
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: no consistent world has positive probability")
+	}
+	for i := range worlds {
+		worlds[i].P /= total
+	}
+	return worlds, nil
+}
+
+// ExpectedCost returns E[C(ω)] for the order: the expectation, over the
+// consistent worlds, of the number of crowdsourced pairs the sequential
+// labeler needs when the crowd answers according to each world
+// (Definition 3's objective).
+func ExpectedCost(numObjects int, order []Pair, worlds []World) (float64, error) {
+	e := 0.0
+	for _, w := range worlds {
+		res, err := LabelSequential(numObjects, order, &WorldOracle{Labels: w.Labels})
+		if err != nil {
+			return 0, err
+		}
+		e += w.P * float64(res.NumCrowdsourced)
+	}
+	return e, nil
+}
+
+// ExpectedCostOfOrder enumerates the consistent worlds of order's pairs and
+// returns E[C(order)].
+func ExpectedCostOfOrder(numObjects int, order []Pair) (float64, error) {
+	worlds, err := ConsistentWorlds(numObjects, order)
+	if err != nil {
+		return 0, err
+	}
+	return ExpectedCost(numObjects, order, worlds)
+}
+
+// MaxBruteForcePairs bounds the candidate-set size for brute-force order
+// search (factorial cost).
+const MaxBruteForcePairs = 8
+
+// BruteForceExpectedOptimal searches all permutations of pairs and returns
+// one minimizing the expected number of crowdsourced pairs together with its
+// cost. The problem is NP-hard in general (Vesdapunt et al., VLDB 2014,
+// acknowledged by the paper's revision), so this is only feasible for tiny
+// inputs; it exists to validate the heuristic order in tests and examples.
+func BruteForceExpectedOptimal(numObjects int, pairs []Pair) ([]Pair, float64, error) {
+	if len(pairs) > MaxBruteForcePairs {
+		return nil, 0, fmt.Errorf("core: %d pairs exceed MaxBruteForcePairs=%d", len(pairs), MaxBruteForcePairs)
+	}
+	worlds, err := ConsistentWorlds(numObjects, pairs)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := math.Inf(1)
+	var bestOrder []Pair
+	perm := clonePairs(pairs)
+	// Heap's algorithm, iterative.
+	c := make([]int, len(perm))
+	consider := func() error {
+		e, err := ExpectedCost(numObjects, perm, worlds)
+		if err != nil {
+			return err
+		}
+		if e < best {
+			best = e
+			bestOrder = clonePairs(perm)
+		}
+		return nil
+	}
+	if err := consider(); err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < len(perm); {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if err := consider(); err != nil {
+				return nil, 0, err
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return bestOrder, best, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// IncrementalScanner computes Algorithm 3's crowdsourceable set repeatedly
+// over the same order, reusing work across invocations.
+//
+// The scan's state at position i depends only on positions < i, and a new
+// crowd label at position j leaves every decision before j unchanged
+// (deduced labels never change the scan graph: a pair deducible under the
+// scan's optimistic assumption inserts as a structural no-op). The scanner
+// therefore snapshots the scan graph at checkpoint positions; each rescan
+// resumes from the latest checkpoint at or before the smallest position
+// whose label changed, instead of replaying the whole prefix.
+//
+// With checkpoints every C positions a rescan after a change at position j
+// costs O(C + P - j) instead of O(P). Instant-decision labeling triggers a
+// rescan per non-matching answer, and under the likelihood-descending
+// order those answers concentrate late in the order, so most of the prefix
+// is skipped.
+type IncrementalScanner struct {
+	numObjects int
+	order      []Pair
+	every      int
+	// checkpoints[k] snapshots the scan graph before processing position
+	// k*every. checkpoints[0] is the empty graph. Entries beyond
+	// validCheckpoints were invalidated by label changes.
+	checkpoints      []*clustergraph.Graph
+	validCheckpoints int
+	scratch          *clustergraph.Graph
+}
+
+// NewIncrementalScanner prepares a scanner for the given order. every is
+// the checkpoint interval; every <= 0 picks max(128, len(order)/8).
+// Snapshots are graph clones, so denser checkpoints trade clone cost for
+// shorter replays; len/8 keeps the clone overhead below the replay savings
+// on the evaluation workloads.
+func NewIncrementalScanner(numObjects int, order []Pair, every int) *IncrementalScanner {
+	if every <= 0 {
+		every = len(order) / 8
+		if every < 128 {
+			every = 128
+		}
+	}
+	return &IncrementalScanner{
+		numObjects:       numObjects,
+		order:            order,
+		every:            every,
+		checkpoints:      []*clustergraph.Graph{clustergraph.New(numObjects)},
+		validCheckpoints: 1,
+		scratch:          clustergraph.New(numObjects),
+	}
+}
+
+// Crowdsourceable returns the pairs that must be crowdsourced given the
+// current labels (indexed by Pair.ID), excluding pairs marked in skip.
+// changedPos is the smallest order position whose label changed since the
+// previous call (len(order) when nothing changed, 0 for the first call or
+// when unknown — always safe, just slower).
+func (s *IncrementalScanner) Crowdsourceable(labels []Label, skip []bool, changedPos int) []Pair {
+	if changedPos < 0 {
+		changedPos = 0
+	}
+	// Drop checkpoints that cover positions at or after the change.
+	// Checkpoint k holds state before position k*every, so it stays valid
+	// iff k*every <= changedPos.
+	maxValid := changedPos/s.every + 1
+	if s.validCheckpoints > maxValid {
+		s.validCheckpoints = maxValid
+	}
+	start := (s.validCheckpoints - 1) * s.every
+	s.scratch.Reset()
+	g := s.checkpoints[s.validCheckpoints-1].CloneInto(s.scratch)
+
+	var out []Pair
+	// The reused prefix needs no re-emission: its decisions are unchanged
+	// (labels before changedPos did not change) and every pair it selected
+	// was published by the previous invocation — the scanner's contract is
+	// that callers publish everything returned before calling again.
+	for pos := start; pos < len(s.order); pos++ {
+		// Record a fresh checkpoint when crossing an interval border:
+		// checkpoint k holds the state before position k*every. The border
+		// at start itself is the checkpoint the scan resumed from.
+		if pos > start && pos%s.every == 0 {
+			s.snapshot(pos/s.every, g)
+		}
+		p := s.order[pos]
+		switch labels[p.ID] {
+		case Matching:
+			g.ForceInsert(p.A, p.B, true)
+		case NonMatching:
+			g.ForceInsert(p.A, p.B, false)
+		default:
+			if g.Deduce(p.A, p.B) != clustergraph.Undeduced {
+				continue
+			}
+			if skip == nil || !skip[p.ID] {
+				out = append(out, p)
+			}
+			g.ForceInsert(p.A, p.B, true)
+		}
+	}
+	return out
+}
+
+// snapshot stores a clone of g as checkpoint k.
+func (s *IncrementalScanner) snapshot(k int, g *clustergraph.Graph) {
+	clone := g.Clone()
+	if k < len(s.checkpoints) {
+		s.checkpoints[k] = clone
+	} else if k == len(s.checkpoints) {
+		s.checkpoints = append(s.checkpoints, clone)
+	} else {
+		// Gaps cannot happen: the scan crosses borders in order.
+		panic(fmt.Sprintf("core: checkpoint gap k=%d len=%d valid=%d every=%d order=%d", k, len(s.checkpoints), s.validCheckpoints, s.every, len(s.order)))
+	}
+	if s.validCheckpoints < k+1 {
+		s.validCheckpoints = k + 1
+	}
+}

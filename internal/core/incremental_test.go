@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// TestIncrementalScannerMatchesScratch: driven the way the platform driver
+// drives it — labels only ever added, every returned pair immediately
+// marked published — the incremental scanner returns exactly what a
+// from-scratch Algorithm 3 scan returns, at every step.
+func TestIncrementalScannerMatchesScratch(t *testing.T) {
+	f := func(seed int64, tinyCheckpoints bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 14, 40)
+		order := ExpectedOrder(pairs)
+		every := 0
+		if tinyCheckpoints {
+			every = 1 + rng.Intn(4) // stress checkpoint borders
+		}
+		scanner := NewIncrementalScanner(n, order, every)
+
+		labels := make([]Label, len(order))
+		published := make([]bool, len(order))
+		posByID := make([]int, len(order))
+		for pos, p := range order {
+			posByID[p.ID] = pos
+		}
+		changed := 0
+		// Simulate the instant-decision loop: scan, publish, answer one
+		// published pair, deduce, repeat.
+		for step := 0; step < 200; step++ {
+			want, err := CrowdsourceablePairs(n, order, labels)
+			if err != nil {
+				return false
+			}
+			// Scratch reference returns all selected pairs; filter skip.
+			var wantUnpublished []Pair
+			for _, p := range want {
+				if !published[p.ID] {
+					wantUnpublished = append(wantUnpublished, p)
+				}
+			}
+			got := scanner.Crowdsourceable(labels, published, changed)
+			changed = len(order)
+			if len(got) != len(wantUnpublished) {
+				return false
+			}
+			for i := range got {
+				if got[i].ID != wantUnpublished[i].ID {
+					return false
+				}
+			}
+			for _, p := range got {
+				published[p.ID] = true
+			}
+			// Answer the first published-but-unlabeled pair.
+			answered := false
+			for _, p := range order {
+				if !published[p.ID] || labels[p.ID] != Unlabeled {
+					continue
+				}
+				l := truth.Label(p)
+				labels[p.ID] = l
+				if l == NonMatching && posByID[p.ID] < changed {
+					changed = posByID[p.ID]
+				}
+				answered = true
+				break
+			}
+			if !answered {
+				break // everything labeled or deduced
+			}
+			// Deduce from crowd labels.
+			g := clustergraph.New(n)
+			for _, q := range order {
+				if labels[q.ID] == Unlabeled {
+					continue
+				}
+				g.ForceInsert(q.A, q.B, labels[q.ID] == Matching)
+			}
+			for _, q := range order {
+				if labels[q.ID] != Unlabeled || published[q.ID] {
+					continue
+				}
+				switch g.Deduce(q.A, q.B) {
+				case clustergraph.DeducedMatching:
+					labels[q.ID] = Matching
+				case clustergraph.DeducedNonMatching:
+					labels[q.ID] = NonMatching
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelOnPlatformIncrementalEquivalence: the options flag changes no
+// observable output — published pairs, labels, availability traces and
+// publish sizes are identical for scratch and incremental scans.
+func TestLabelOnPlatformIncrementalEquivalence(t *testing.T) {
+	f := func(seed int64, instant bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 14, 40)
+		order := ExpectedOrder(pairs)
+		run := func(incremental bool) *TraceResult {
+			pf := NewSimPlatform(truth, SelectRandom, rand.New(rand.NewSource(seed+5)))
+			res, err := LabelOnPlatformOpts(n, order, pf, PlatformOptions{
+				Instant:         instant,
+				IncrementalScan: incremental,
+				CheckpointEvery: 3,
+			})
+			if err != nil {
+				return nil
+			}
+			return res
+		}
+		a, b := run(false), run(true)
+		if a == nil || b == nil {
+			return false
+		}
+		if a.NumCrowdsourced != b.NumCrowdsourced || a.NumDeduced != b.NumDeduced {
+			return false
+		}
+		for id := range a.Labels {
+			if a.Labels[id] != b.Labels[id] || a.Crowdsourced[id] != b.Crowdsourced[id] {
+				return false
+			}
+		}
+		if len(a.PublishSizes) != len(b.PublishSizes) {
+			return false
+		}
+		for i := range a.PublishSizes {
+			if a.PublishSizes[i] != b.PublishSizes[i] {
+				return false
+			}
+		}
+		for i := range a.Availability {
+			if a.Availability[i] != b.Availability[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

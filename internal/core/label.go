@@ -1,0 +1,47 @@
+// Package core implements the paper's hybrid transitive-relations and
+// crowdsourcing labeling framework (Sections 3–5): labeling orders, the
+// sequential one-pair-at-a-time labeler, the parallel labeling algorithm
+// (Algorithms 2 and 3), the instant-decision and non-matching-first
+// optimizations, and an exact expected-cost engine for the expected optimal
+// labeling order problem (Section 4.2).
+//
+// The object universe is dense: objects are int32 ids in [0, numObjects).
+// Candidate pairs carry a machine-computed likelihood of matching; pair IDs
+// are dense in [0, len(pairs)) so results can be indexed by Pair.ID.
+package core
+
+import "fmt"
+
+// Label is the ternary label state of a candidate pair.
+type Label uint8
+
+const (
+	// Unlabeled means the pair has not been labeled yet.
+	Unlabeled Label = iota
+	// Matching means both objects refer to the same real-world entity.
+	Matching
+	// NonMatching means the objects refer to different entities.
+	NonMatching
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case Unlabeled:
+		return "unlabeled"
+	case Matching:
+		return "matching"
+	case NonMatching:
+		return "non-matching"
+	default:
+		return fmt.Sprintf("Label(%d)", uint8(l))
+	}
+}
+
+// LabelOf converts a boolean match indicator into a Label.
+func LabelOf(matching bool) Label {
+	if matching {
+		return Matching
+	}
+	return NonMatching
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// OneToOneResult extends Result with the count of labels deduced from the
+// one-to-one constraint rather than from transitive relations.
+type OneToOneResult struct {
+	Result
+	// NumConstraintDeduced counts pairs labeled non-matching because one of
+	// their objects was already matched to someone else.
+	NumConstraintDeduced int
+}
+
+// LabelSequentialOneToOne is the sequential labeler augmented with the
+// one-to-one matching constraint, one of the paper's Section 8 future-work
+// relations: in a join between two duplicate-free sources, each record
+// matches at most one record, so a matching answer for (a, b) additionally
+// implies non-matching for every other pair touching a or b.
+//
+// The constraint is an assumption about the data, not a theorem: if a
+// source does contain duplicates, constraint-deduced labels can be wrong
+// even with a perfect crowd. Callers trade that risk for extra savings; the
+// ablation bench quantifies both sides on the Product workload.
+func LabelSequentialOneToOne(numObjects int, order []Pair, oracle Oracle) (*OneToOneResult, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	res := &OneToOneResult{Result: *newResult(len(order))}
+	g := clustergraph.New(numObjects)
+	matched := make([]bool, numObjects)
+	for _, p := range order {
+		switch g.Deduce(p.A, p.B) {
+		case clustergraph.DeducedMatching:
+			res.Labels[p.ID] = Matching
+			res.NumDeduced++
+			continue
+		case clustergraph.DeducedNonMatching:
+			res.Labels[p.ID] = NonMatching
+			res.NumDeduced++
+			continue
+		}
+		if matched[p.A] || matched[p.B] {
+			// One endpoint is already matched to a different record (the
+			// same record would have been deduced matching above), so the
+			// constraint forces non-matching. Feed it to the graph so
+			// negative transitivity can build on it.
+			res.Labels[p.ID] = NonMatching
+			res.NumConstraintDeduced++
+			// The insert cannot conflict: step one ruled out same-cluster.
+			if err := g.InsertNonMatching(p.A, p.B); err != nil {
+				return nil, fmt.Errorf("core: one-to-one labeling: %w", err)
+			}
+			continue
+		}
+		l := oracle.Label(p)
+		if err := checkAnswer(p, l); err != nil {
+			return nil, err
+		}
+		if err := g.Insert(p.A, p.B, l == Matching); err != nil {
+			return nil, fmt.Errorf("core: one-to-one labeling: %w", err)
+		}
+		if l == Matching {
+			matched[p.A] = true
+			matched[p.B] = true
+		}
+		res.Labels[p.ID] = l
+		res.Crowdsourced[p.ID] = true
+		res.NumCrowdsourced++
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// Oracle answers a single pair-labeling question, abstracting the crowd for
+// the sequential labeler. Implementations must return Matching or
+// NonMatching; the labeler rejects anything else.
+type Oracle interface {
+	Label(p Pair) Label
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(Pair) Label
+
+// Label implements Oracle.
+func (f OracleFunc) Label(p Pair) Label { return f(p) }
+
+// BatchOracle answers a whole round of pair-labeling questions at once,
+// abstracting the crowd for the parallel labeler. The returned slice is
+// parallel to ps.
+type BatchOracle interface {
+	LabelBatch(ps []Pair) []Label
+}
+
+// BatchOracleFunc adapts a function to the BatchOracle interface.
+type BatchOracleFunc func(ps []Pair) []Label
+
+// LabelBatch implements BatchOracle.
+func (f BatchOracleFunc) LabelBatch(ps []Pair) []Label { return f(ps) }
+
+// Batched lifts a per-pair Oracle into a BatchOracle.
+func Batched(o Oracle) BatchOracle {
+	return BatchOracleFunc(func(ps []Pair) []Label {
+		out := make([]Label, len(ps))
+		for i, p := range ps {
+			out[i] = o.Label(p)
+		}
+		return out
+	})
+}
+
+// TruthOracle answers from a ground-truth entity assignment: objects match
+// iff they are records of the same entity. It models the paper's assumption
+// of an always-correct crowd (Section 2.1).
+type TruthOracle struct {
+	// Entity[o] is the ground-truth entity of object o.
+	Entity []int32
+}
+
+// Label implements Oracle.
+func (t *TruthOracle) Label(p Pair) Label {
+	return LabelOf(t.Entity[p.A] == t.Entity[p.B])
+}
+
+// Matches reports whether objects a and b share an entity.
+func (t *TruthOracle) Matches(a, b int32) bool { return t.Entity[a] == t.Entity[b] }
+
+// WorldOracle answers from a fixed per-pair label assignment keyed by
+// Pair.ID, used by the expected-cost engine to replay a possible world.
+type WorldOracle struct {
+	Labels []Label
+}
+
+// Label implements Oracle.
+func (w *WorldOracle) Label(p Pair) Label { return w.Labels[p.ID] }
+
+func checkAnswer(p Pair, l Label) error {
+	if l != Matching && l != NonMatching {
+		return fmt.Errorf("core: oracle returned %v for pair %v; want matching or non-matching", l, p)
+	}
+	return nil
+}

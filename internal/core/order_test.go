@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedOrderSortsByLikelihoodDesc(t *testing.T) {
+	pairs := []Pair{
+		{ID: 0, A: 0, B: 1, Likelihood: 0.2},
+		{ID: 1, A: 1, B: 2, Likelihood: 0.9},
+		{ID: 2, A: 0, B: 2, Likelihood: 0.5},
+	}
+	ord := ExpectedOrder(pairs)
+	if ord[0].ID != 1 || ord[1].ID != 2 || ord[2].ID != 0 {
+		t.Errorf("order = %v, want IDs [1 2 0]", ord)
+	}
+	// Input untouched.
+	if pairs[0].ID != 0 {
+		t.Error("ExpectedOrder mutated its input")
+	}
+}
+
+func TestExpectedOrderTieBreaksByID(t *testing.T) {
+	pairs := []Pair{
+		{ID: 1, A: 1, B: 2, Likelihood: 0.5},
+		{ID: 0, A: 0, B: 1, Likelihood: 0.5},
+	}
+	ord := ExpectedOrder(pairs)
+	if ord[0].ID != 0 || ord[1].ID != 1 {
+		t.Errorf("tie break: got IDs [%d %d], want [0 1]", ord[0].ID, ord[1].ID)
+	}
+}
+
+func TestOptimalOrderPutsMatchingFirst(t *testing.T) {
+	pairs := runningExamplePairs()
+	truth := runningExampleTruth()
+	ord := OptimalOrder(pairs, truth.Matches)
+	seenNonMatching := false
+	for _, p := range ord {
+		if truth.Matches(p.A, p.B) {
+			if seenNonMatching {
+				t.Fatalf("matching pair %v after a non-matching pair", p)
+			}
+		} else {
+			seenNonMatching = true
+		}
+	}
+}
+
+func TestWorstOrderPutsNonMatchingFirst(t *testing.T) {
+	pairs := runningExamplePairs()
+	truth := runningExampleTruth()
+	ord := WorstOrder(pairs, truth.Matches)
+	seenMatching := false
+	for _, p := range ord {
+		if !truth.Matches(p.A, p.B) {
+			if seenMatching {
+				t.Fatalf("non-matching pair %v after a matching pair", p)
+			}
+		} else {
+			seenMatching = true
+		}
+	}
+}
+
+func TestRandomOrderIsPermutation(t *testing.T) {
+	pairs := runningExamplePairs()
+	ord := RandomOrder(pairs, rand.New(rand.NewSource(3)))
+	if len(ord) != len(pairs) {
+		t.Fatalf("len = %d, want %d", len(ord), len(pairs))
+	}
+	seen := make([]bool, len(pairs))
+	for _, p := range ord {
+		if seen[p.ID] {
+			t.Fatalf("pair ID %d appears twice", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+// TestTheorem1OptimalBeatsSampledOrders: on random instances, the optimal
+// order's crowdsourced count is ≤ every sampled random order's and ≤ the
+// worst order's (Theorem 1).
+func TestTheorem1OptimalBeatsSampledOrders(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 10, 25)
+		opt, err := CountCrowdsourced(n, OptimalOrder(pairs, truth.Matches), truth)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			c, err := CountCrowdsourced(n, RandomOrder(pairs, rng), truth)
+			if err != nil || c < opt {
+				return false
+			}
+		}
+		w, err := CountCrowdsourced(n, WorstOrder(pairs, truth.Matches), truth)
+		return err == nil && w >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma2SwapNonMatchingBehindMatching: swapping an adjacent
+// (non-matching, matching) pair into (matching, non-matching) never
+// increases the crowdsourced count.
+func TestLemma2SwapNonMatchingBehindMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 10, 20)
+		ord := RandomOrder(pairs, rng)
+		before, err := CountCrowdsourced(n, ord, truth)
+		if err != nil {
+			return false
+		}
+		// Find any adjacent (non-matching, matching) and swap it.
+		for i := 0; i+1 < len(ord); i++ {
+			if !truth.Matches(ord[i].A, ord[i].B) && truth.Matches(ord[i+1].A, ord[i+1].B) {
+				swapped := clonePairs(ord)
+				swapped[i], swapped[i+1] = swapped[i+1], swapped[i]
+				after, err := CountCrowdsourced(n, swapped, truth)
+				if err != nil || after > before {
+					return false
+				}
+				return true
+			}
+		}
+		return true // no such adjacency; vacuously fine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma3SwapSameLabelNeighbours: swapping two adjacent pairs with the
+// same label leaves the crowdsourced count unchanged.
+func TestLemma3SwapSameLabelNeighbours(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 10, 20)
+		ord := RandomOrder(pairs, rng)
+		before, err := CountCrowdsourced(n, ord, truth)
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < len(ord); i++ {
+			if truth.Matches(ord[i].A, ord[i].B) == truth.Matches(ord[i+1].A, ord[i+1].B) {
+				swapped := clonePairs(ord)
+				swapped[i], swapped[i+1] = swapped[i+1], swapped[i]
+				after, err := CountCrowdsourced(n, swapped, truth)
+				if err != nil || after != before {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnyMatchingFirstOrderIsOptimal: per Theorem 1's proof, every order
+// that places all matching pairs before all non-matching pairs achieves the
+// same (minimal) crowdsourced count.
+func TestAnyMatchingFirstOrderIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, pairs, truth := randomInstance(rng, 9, 16)
+		opt, err := CountCrowdsourced(n, OptimalOrder(pairs, truth.Matches), truth)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			shuffled := OptimalOrder(RandomOrder(pairs, rng), truth.Matches)
+			c, err := CountCrowdsourced(n, shuffled, truth)
+			if err != nil || c != opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+// Shared fixtures reproducing the paper's worked examples. Objects are
+// 0-indexed (paper's o1 is object 0).
+
+// runningExamplePairs returns the eight pairs of Figure 3 with likelihoods
+// decreasing from p1 to p8 (the paper's Likelihood column orders them this
+// way), so ExpectedOrder yields ⟨p1,...,p8⟩ as in Section 4.2.
+func runningExamplePairs() []Pair {
+	return []Pair{
+		{ID: 0, A: 0, B: 1, Likelihood: 0.95}, // p1 (o1,o2) matching
+		{ID: 1, A: 1, B: 2, Likelihood: 0.85}, // p2 (o2,o3) matching
+		{ID: 2, A: 0, B: 5, Likelihood: 0.75}, // p3 (o1,o6) non-matching
+		{ID: 3, A: 0, B: 2, Likelihood: 0.65}, // p4 (o1,o3) matching
+		{ID: 4, A: 3, B: 4, Likelihood: 0.55}, // p5 (o4,o5) matching
+		{ID: 5, A: 3, B: 5, Likelihood: 0.45}, // p6 (o4,o6) non-matching
+		{ID: 6, A: 1, B: 3, Likelihood: 0.35}, // p7 (o2,o4) non-matching
+		{ID: 7, A: 4, B: 5, Likelihood: 0.25}, // p8 (o5,o6) non-matching
+	}
+}
+
+const runningExampleObjects = 6
+
+// runningExampleTruth is the ground truth of Figure 3: {o1,o2,o3} are one
+// entity, {o4,o5} another, {o6} a third.
+func runningExampleTruth() *TruthOracle {
+	return &TruthOracle{Entity: []int32{0, 0, 0, 1, 1, 2}}
+}
+
+// triangle returns the three pairs over objects {0,1,2} used by the
+// Section 3.1/4.1 examples: p1=(o1,o2), p2=(o2,o3), p3=(o1,o3).
+func triangle(l1, l2, l3 float64) []Pair {
+	return []Pair{
+		{ID: 0, A: 0, B: 1, Likelihood: l1},
+		{ID: 1, A: 1, B: 2, Likelihood: l2},
+		{ID: 2, A: 0, B: 2, Likelihood: l3},
+	}
+}
+
+// triangleTruth is the truth of the Section 4.1 example: o1 = o2, o3 alone.
+func triangleTruth() *TruthOracle {
+	return &TruthOracle{Entity: []int32{0, 0, 1}}
+}

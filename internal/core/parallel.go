@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// CrowdsourceablePairs implements Algorithm 3 (ParallelCrowdsourcedPairs):
+// given the labeling order and the labels obtained so far (Unlabeled where
+// unknown, indexed by Pair.ID), it returns the pairs that must be
+// crowdsourced no matter how the remaining unlabeled pairs turn out.
+//
+// The scan walks the order once, inserting labeled pairs with their actual
+// labels and optimistically assuming every unlabeled pair is matching: if a
+// pair is undeducible even under that assumption — which minimizes the
+// number of non-matching pairs on every path — it is undeducible under any
+// completion, so it is safe to crowdsource immediately.
+func CrowdsourceablePairs(numObjects int, order []Pair, labels []Label) ([]Pair, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	scratch := clustergraph.New(numObjects)
+	return crowdsourceable(scratch, order, labels, nil), nil
+}
+
+// crowdsourceable is the allocation-conscious kernel behind
+// CrowdsourceablePairs. scratch must be an empty (or Reset) graph sized to
+// the object universe. If skip is non-nil, pairs whose IDs are marked true
+// are still assumed matching but excluded from the returned set — this is
+// the "excluding the already published pairs" modification of Section 5.2.
+//
+// Inserts use ForceInsert because the optimistic all-matching assumption can
+// contradict actual labels encountered later in the scan; the graph then
+// tracks minimum non-matching counts rather than a consistent labeling.
+func crowdsourceable(scratch *clustergraph.Graph, order []Pair, labels []Label, skip []bool) []Pair {
+	var out []Pair
+	for _, p := range order {
+		switch labels[p.ID] {
+		case Matching:
+			scratch.ForceInsert(p.A, p.B, true)
+		case NonMatching:
+			scratch.ForceInsert(p.A, p.B, false)
+		default:
+			if scratch.Deduce(p.A, p.B) != clustergraph.Undeduced {
+				// Deducible from the prefix under the all-matching
+				// assumption; its label is determined by earlier pairs, so
+				// the graph already carries its information.
+				continue
+			}
+			if skip == nil || !skip[p.ID] {
+				out = append(out, p)
+			}
+			// Suppose it is a matching pair (Algorithm 3, line 11).
+			scratch.ForceInsert(p.A, p.B, true)
+		}
+	}
+	return out
+}
+
+// ParallelResult extends Result with per-iteration round sizes, the series
+// plotted in Figures 13 and 14.
+type ParallelResult struct {
+	Result
+	// RoundSizes[i] is the number of pairs crowdsourced in iteration i.
+	RoundSizes []int
+	// Conflicts counts crowd answers that contradicted the transitive
+	// closure of earlier answers and were overridden by the implied label.
+	// Zero for any crowd whose answers are consistent with some ground
+	// truth.
+	Conflicts int
+}
+
+// LabelParallel runs the parallel labeling algorithm (Algorithm 2): in each
+// iteration it identifies every pair that can be crowdsourced in parallel
+// (Algorithm 3), asks the oracle for the whole batch at once, then deduces
+// all pairs whose labels now follow from transitive relations. It terminates
+// when every pair is labeled.
+//
+// The total number of crowdsourced pairs equals the sequential labeler's for
+// the same order and oracle (Section 5.1).
+func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelResult, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{Result: *newResult(len(order))}
+	labeled := clustergraph.New(numObjects) // crowd-labeled pairs only
+	scratch := clustergraph.New(numObjects)
+	unlabeled := len(order)
+
+	for unlabeled > 0 {
+		scratch.Reset()
+		batch := crowdsourceable(scratch, order, res.Labels, nil)
+		if len(batch) == 0 {
+			// Cannot happen: the first unlabeled pair in the order is
+			// always selected, because its prefix holds only actual labels
+			// and the deduction phase below already exhausted those.
+			return nil, fmt.Errorf("core: parallel labeling stalled with %d pairs unlabeled", unlabeled)
+		}
+		answers := oracle.LabelBatch(batch)
+		if len(answers) != len(batch) {
+			return nil, fmt.Errorf("core: batch oracle returned %d answers for %d pairs", len(answers), len(batch))
+		}
+		for i, p := range batch {
+			if err := checkAnswer(p, answers[i]); err != nil {
+				return nil, err
+			}
+			l := answers[i]
+			if err := labeled.Insert(p.A, p.B, l == Matching); err != nil {
+				if !errors.Is(err, clustergraph.ErrConflict) {
+					return nil, fmt.Errorf("core: parallel labeling: %w", err)
+				}
+				// An inconsistent crowd can answer against the closure of
+				// the other answers: the optimistic scan drops non-matching
+				// edges its assumptions bypass, so a selected pair is not
+				// always independent of the actual labels. First knowledge
+				// wins, as in the platform driver.
+				res.Conflicts++
+				if labeled.Deduce(p.A, p.B) == clustergraph.DeducedMatching {
+					l = Matching
+				} else {
+					l = NonMatching
+				}
+			}
+			res.Labels[p.ID] = l
+			res.Crowdsourced[p.ID] = true
+			res.NumCrowdsourced++
+			unlabeled--
+		}
+		res.RoundSizes = append(res.RoundSizes, len(batch))
+		// Deduction phase (Algorithm 2, lines 6–8): label every remaining
+		// pair whose label now follows from the crowd-labeled pairs.
+		for _, p := range order {
+			if res.Labels[p.ID] != Unlabeled {
+				continue
+			}
+			switch labeled.Deduce(p.A, p.B) {
+			case clustergraph.DeducedMatching:
+				res.Labels[p.ID] = Matching
+				res.NumDeduced++
+				unlabeled--
+			case clustergraph.DeducedNonMatching:
+				res.Labels[p.ID] = NonMatching
+				res.NumDeduced++
+				unlabeled--
+			}
+		}
+	}
+	return res, nil
+}

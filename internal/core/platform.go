@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// Platform is the crowdsourcing-platform surface the labeling drivers need:
+// publish pairs as available work, observe labeled results one at a time,
+// and inspect how much published work is still outstanding.
+//
+// Implementations decide which outstanding pair gets labeled next (worker
+// behaviour): e.g. uniformly at random, or lowest likelihood first, which is
+// the non-matching-first optimization of Section 5.2.
+type Platform interface {
+	// Publish makes ps available to the crowd.
+	Publish(ps []Pair)
+	// NextLabel returns the next labeled pair and its answer. ok is false
+	// when no published pair remains unlabeled.
+	NextLabel() (p Pair, l Label, ok bool)
+	// Available returns the number of published, not-yet-labeled pairs.
+	Available() int
+}
+
+// TraceResult extends Result with the series needed for Figure 15 and the
+// publish bookkeeping needed for HIT accounting.
+type TraceResult struct {
+	Result
+	// PublishSizes[i] is the number of pairs made available by the i-th
+	// publish event (the initial publish is event 0).
+	PublishSizes []int
+	// Availability[k] is Platform.Available() right after the (k+1)-th
+	// labeled pair was processed (including any republish it triggered) —
+	// the y-series of Figure 15 with x = k+1 crowdsourced pairs.
+	Availability []int
+	// Conflicts counts crowd answers that contradicted the transitive
+	// closure of earlier answers and were overridden by the implied label
+	// (possible only with an inconsistent crowd and in-flight work).
+	Conflicts int
+}
+
+// PlatformOptions configures LabelOnPlatformOpts.
+type PlatformOptions struct {
+	// Instant applies the instant-decision optimization (Section 5.2):
+	// republish newly mandatory pairs after every answer instead of
+	// waiting for the platform to drain.
+	Instant bool
+	// IncrementalScan computes Algorithm 3 with the checkpointed
+	// IncrementalScanner instead of rebuilding the scan from scratch at
+	// every republish. The published pairs and final labels are identical;
+	// only the work per republish changes (see BenchmarkAblationIncremental).
+	IncrementalScan bool
+	// CheckpointEvery overrides the scanner's checkpoint interval
+	// (0 = automatic). Ignored without IncrementalScan.
+	CheckpointEvery int
+	// IncrementalDeduce re-checks only the pairs incident to the clusters
+	// a crowd answer touched, instead of walking the whole order after
+	// every answer. Results are identical; the deduction pass dominates
+	// the driver's cost on large candidate sets.
+	IncrementalDeduce bool
+}
+
+// LabelOnPlatform drives the parallel labeling algorithm through a Platform.
+//
+// With instant=false it behaves like plain Parallel: a new round of pairs is
+// published only after the platform drains. With instant=true it applies the
+// instant-decision optimization: after every labeled pair it immediately
+// publishes every pair that has become mandatory. Per the paper's
+// observation under non-matching-first, only a non-matching answer can make
+// new pairs mandatory — a matching answer confirms what Algorithm 3 already
+// assumed — so the recomputation is skipped on matching answers.
+func LabelOnPlatform(numObjects int, order []Pair, pf Platform, instant bool) (*TraceResult, error) {
+	return LabelOnPlatformOpts(numObjects, order, pf, PlatformOptions{Instant: instant})
+}
+
+// LabelOnPlatformOpts is LabelOnPlatform with explicit options.
+func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts PlatformOptions) (*TraceResult, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	res := &TraceResult{Result: *newResult(len(order))}
+	labeled := clustergraph.New(numObjects)
+	published := make([]bool, len(order))
+	unlabeled := len(order)
+	instant := opts.Instant
+
+	// changedPos tracks the smallest order position whose label changed
+	// since the last scan; positions before it are reusable prefix.
+	changedPos := 0
+	posByID := make([]int, len(order))
+	for pos, p := range order {
+		posByID[p.ID] = pos
+	}
+
+	var scan func() []Pair
+	if opts.IncrementalScan {
+		scanner := NewIncrementalScanner(numObjects, order, opts.CheckpointEvery)
+		scan = func() []Pair {
+			return scanner.Crowdsourceable(res.Labels, published, changedPos)
+		}
+	} else {
+		scratch := clustergraph.New(numObjects)
+		scan = func() []Pair {
+			scratch.Reset()
+			return crowdsourceable(scratch, order, res.Labels, published)
+		}
+	}
+
+	var ded *incrementalDeducer
+	var affected []int32
+	if opts.IncrementalDeduce {
+		ded = newIncrementalDeducer(numObjects, order, labeled)
+	}
+	// deducePair applies the post-answer deduction to one candidate pair.
+	deducePair := func(q Pair) {
+		if res.Labels[q.ID] != Unlabeled || published[q.ID] {
+			return
+		}
+		switch labeled.Deduce(q.A, q.B) {
+		case clustergraph.DeducedMatching:
+			res.Labels[q.ID] = Matching
+			res.NumDeduced++
+			unlabeled--
+		case clustergraph.DeducedNonMatching:
+			res.Labels[q.ID] = NonMatching
+			res.NumDeduced++
+			unlabeled--
+		}
+	}
+
+	publish := func() {
+		batch := scan()
+		changedPos = len(order)
+		if len(batch) == 0 {
+			return
+		}
+		for _, p := range batch {
+			published[p.ID] = true
+		}
+		pf.Publish(batch)
+		res.PublishSizes = append(res.PublishSizes, len(batch))
+	}
+
+	publish()
+	for unlabeled > 0 {
+		if pf.Available() == 0 {
+			// Plain Parallel republishes only here; instant mode reaches
+			// this only when the remaining pairs were all deduced, in which
+			// case publish is a no-op and the loop exits below.
+			publish()
+			if pf.Available() == 0 {
+				return nil, fmt.Errorf("core: platform drained with %d pairs unlabeled", unlabeled)
+			}
+		}
+		p, l, ok := pf.NextLabel()
+		if !ok {
+			return nil, fmt.Errorf("core: platform returned no label with %d pairs available", pf.Available())
+		}
+		if err := checkAnswer(p, l); err != nil {
+			return nil, err
+		}
+		if res.Labels[p.ID] != Unlabeled {
+			return nil, fmt.Errorf("core: platform relabeled pair %v", p)
+		}
+		var insertErr error
+		if ded != nil {
+			affected, insertErr = ded.insert(p.A, p.B, l == Matching, affected[:0])
+		} else {
+			insertErr = labeled.Insert(p.A, p.B, l == Matching)
+		}
+		if insertErr != nil {
+			if !errors.Is(insertErr, clustergraph.ErrConflict) {
+				return nil, fmt.Errorf("core: platform labeling: %w", insertErr)
+			}
+			// A noisy crowd answered against the transitive closure of
+			// earlier answers. This can only happen when the pair was
+			// published before later answers made it deducible (in-flight
+			// HITs). First knowledge wins: keep the implied label. The pair
+			// still counts as crowdsourced — it was published and paid for.
+			res.Conflicts++
+			if labeled.Deduce(p.A, p.B) == clustergraph.DeducedMatching {
+				l = Matching
+			} else {
+				l = NonMatching
+			}
+		}
+		res.Labels[p.ID] = l
+		res.Crowdsourced[p.ID] = true
+		res.NumCrowdsourced++
+		unlabeled--
+		if l == NonMatching && posByID[p.ID] < changedPos {
+			// Only a non-matching crowd answer alters the scan graph: a
+			// matching answer confirms Algorithm 3's assumption and a
+			// deduced label inserts redundantly.
+			changedPos = posByID[p.ID]
+		}
+		// Deduce everything that now follows from the crowd labels.
+		// Published pairs are excluded: they are already paid for and their
+		// crowd answer is on its way, so the crowd label wins. (With an
+		// inconsistent crowd a published pair can become deducible before
+		// its HIT completes; deducing it would double-label it.)
+		if ded != nil {
+			for _, pos := range affected {
+				deducePair(order[pos])
+			}
+		} else {
+			for _, q := range order {
+				deducePair(q)
+			}
+		}
+		if instant && l == NonMatching {
+			publish()
+		}
+		res.Availability = append(res.Availability, pf.Available())
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/clustergraph"
+)
+
+// LabelSequential runs the paper's simple one-pair-at-a-time labeling
+// algorithm (Section 3.2): walk the order, deduce each pair from the already
+// labeled pairs where transitive relations allow, and crowdsource it via the
+// oracle otherwise.
+//
+// Pair IDs in order must be dense (a permutation of 0..len(order)-1).
+func LabelSequential(numObjects int, order []Pair, oracle Oracle) (*Result, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	res := newResult(len(order))
+	g := clustergraph.New(numObjects)
+	for _, p := range order {
+		switch g.Deduce(p.A, p.B) {
+		case clustergraph.DeducedMatching:
+			res.Labels[p.ID] = Matching
+			res.NumDeduced++
+		case clustergraph.DeducedNonMatching:
+			res.Labels[p.ID] = NonMatching
+			res.NumDeduced++
+		default:
+			l := oracle.Label(p)
+			if err := checkAnswer(p, l); err != nil {
+				return nil, err
+			}
+			// An undeduced pair joins two clusters with no edge between
+			// them, so inserting either answer cannot conflict.
+			if err := g.Insert(p.A, p.B, l == Matching); err != nil {
+				return nil, fmt.Errorf("core: sequential labeling: %w", err)
+			}
+			res.Labels[p.ID] = l
+			res.Crowdsourced[p.ID] = true
+			res.NumCrowdsourced++
+		}
+	}
+	return res, nil
+}
+
+// CountCrowdsourced runs LabelSequential and returns only the number of
+// crowdsourced pairs C(ω) for the given order (Definition 2's objective).
+func CountCrowdsourced(numObjects int, order []Pair, oracle Oracle) (int, error) {
+	res, err := LabelSequential(numObjects, order, oracle)
+	if err != nil {
+		return 0, err
+	}
+	return res.NumCrowdsourced, nil
+}

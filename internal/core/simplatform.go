@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SelectionPolicy determines which outstanding published pair the simulated
+// crowd labels next.
+type SelectionPolicy uint8
+
+const (
+	// SelectFIFO labels pairs in publish order.
+	SelectFIFO SelectionPolicy = iota
+	// SelectRandom labels a uniformly random outstanding pair — the
+	// paper's model of AMT, which assigns HITs to workers randomly.
+	SelectRandom
+	// SelectAscendingLikelihood labels the outstanding pair least likely to
+	// match first: the non-matching-first optimization of Section 5.2.
+	SelectAscendingLikelihood
+)
+
+// String implements fmt.Stringer.
+func (s SelectionPolicy) String() string {
+	switch s {
+	case SelectFIFO:
+		return "fifo"
+	case SelectRandom:
+		return "random"
+	case SelectAscendingLikelihood:
+		return "ascending-likelihood"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", uint8(s))
+	}
+}
+
+// SimPlatform is an in-memory Platform that labels one published pair per
+// NextLabel call using an Oracle for answers and a SelectionPolicy for
+// worker behaviour. It has no notion of time; the crowd package provides a
+// discrete-event platform with latency and error models.
+type SimPlatform struct {
+	oracle  Oracle
+	policy  SelectionPolicy
+	rng     *rand.Rand
+	queue   []Pair
+	labeled int
+}
+
+// NewSimPlatform returns a SimPlatform answering via oracle. rng is required
+// for SelectRandom and ignored otherwise.
+func NewSimPlatform(oracle Oracle, policy SelectionPolicy, rng *rand.Rand) *SimPlatform {
+	if policy == SelectRandom && rng == nil {
+		panic("core: SelectRandom requires a rng")
+	}
+	return &SimPlatform{oracle: oracle, policy: policy, rng: rng}
+}
+
+// Publish implements Platform.
+func (s *SimPlatform) Publish(ps []Pair) { s.queue = append(s.queue, ps...) }
+
+// Available implements Platform.
+func (s *SimPlatform) Available() int { return len(s.queue) }
+
+// Labeled returns the number of pairs labeled so far.
+func (s *SimPlatform) Labeled() int { return s.labeled }
+
+// NextLabel implements Platform.
+func (s *SimPlatform) NextLabel() (Pair, Label, bool) {
+	if len(s.queue) == 0 {
+		return Pair{}, Unlabeled, false
+	}
+	i := 0
+	switch s.policy {
+	case SelectRandom:
+		i = s.rng.Intn(len(s.queue))
+	case SelectAscendingLikelihood:
+		for j := range s.queue {
+			if s.queue[j].Likelihood < s.queue[i].Likelihood {
+				i = j
+			}
+		}
+	}
+	p := s.queue[i]
+	if s.policy == SelectFIFO {
+		// Preserve queue order; the other policies don't depend on it, so
+		// they use an O(1) swap-remove below.
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	} else {
+		s.queue[i] = s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+	}
+	s.labeled++
+	return p, s.oracle.Label(p), true
+}

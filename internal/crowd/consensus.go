@@ -1,0 +1,115 @@
+package crowd
+
+import (
+	"math"
+
+	"crowdjoin/internal/core"
+)
+
+// Consensus methods aggregate per-assignment answers into per-pair labels.
+// MajorityConsensus is what the paper uses; EMConsensus implements the
+// worker-quality estimation the paper cites as orthogonal work ([2,7,13,24],
+// in the spirit of Dawid & Skene): iteratively estimate each worker's
+// reliability from agreement with the weighted consensus, then weight
+// answers by it. With spammy pools it recovers labels majority voting
+// loses.
+
+// MajorityConsensus aggregates the log by per-pair majority vote (ties →
+// non-matching, as in the platform).
+func MajorityConsensus(log []Assignment) map[int]core.Label {
+	yes := map[int]int{}
+	total := map[int]int{}
+	for _, a := range log {
+		total[a.PairID]++
+		if a.Answer == core.Matching {
+			yes[a.PairID]++
+		}
+	}
+	out := make(map[int]core.Label, len(total))
+	for id, t := range total {
+		if 2*yes[id] > t {
+			out[id] = core.Matching
+		} else {
+			out[id] = core.NonMatching
+		}
+	}
+	return out
+}
+
+// EMConsensus estimates worker reliabilities and pair labels jointly.
+// iters rounds of: (E) set each pair's posterior of "matching" from
+// reliability-weighted answers; (M) set each worker's reliability to its
+// average agreement with the posteriors. Reliabilities are clamped to
+// (0.05, 0.95) so no worker's answers become infinitely trusted or
+// anti-trusted. It returns the labels and the final per-worker reliability.
+func EMConsensus(log []Assignment, numWorkers, iters int) (map[int]core.Label, []float64) {
+	rel := make([]float64, numWorkers)
+	for i := range rel {
+		rel[i] = 0.8 // optimistic prior
+	}
+	// Group assignments by pair once.
+	byPair := map[int][]Assignment{}
+	for _, a := range log {
+		byPair[a.PairID] = append(byPair[a.PairID], a)
+	}
+	posterior := make(map[int]float64, len(byPair)) // P(matching)
+	for it := 0; it < iters; it++ {
+		// E step: naive-Bayes vote per pair with symmetric worker
+		// confusion — each answer contributes ±log(r/(1−r)), and the
+		// posterior is the logistic of the sum. A 0.9-reliable worker
+		// outweighs two coin-flippers, which a linear weighted average
+		// would not.
+		for id, as := range byPair {
+			score := 0.0
+			for _, a := range as {
+				w := logOdds(rel[a.Worker])
+				if a.Answer == core.Matching {
+					score += w
+				} else {
+					score -= w
+				}
+			}
+			posterior[id] = logistic(score)
+		}
+		// M step: reliability = mean agreement with the (soft) consensus.
+		agree := make([]float64, numWorkers)
+		count := make([]float64, numWorkers)
+		for id, as := range byPair {
+			p := posterior[id]
+			for _, a := range as {
+				count[a.Worker]++
+				if a.Answer == core.Matching {
+					agree[a.Worker] += p
+				} else {
+					agree[a.Worker] += 1 - p
+				}
+			}
+		}
+		for w := range rel {
+			if count[w] == 0 {
+				continue
+			}
+			r := agree[w] / count[w]
+			if r < 0.05 {
+				r = 0.05
+			}
+			if r > 0.95 {
+				r = 0.95
+			}
+			rel[w] = r
+		}
+	}
+	out := make(map[int]core.Label, len(byPair))
+	for id, p := range posterior {
+		if p > 0.5 {
+			out[id] = core.Matching
+		} else {
+			out[id] = core.NonMatching
+		}
+	}
+	return out, rel
+}
+
+func logOdds(r float64) float64 { return math.Log(r / (1 - r)) }
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,185 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdjoin/internal/core"
+)
+
+// syntheticLog builds an assignment log: numPairs pairs (even IDs truly
+// matching), answeredBy workers each, with the given per-worker accuracy.
+func syntheticLog(rng *rand.Rand, numPairs, answeredBy int, accuracy []float64) ([]Assignment, func(int) core.Label) {
+	truth := func(pairID int) core.Label {
+		if pairID%2 == 0 {
+			return core.Matching
+		}
+		return core.NonMatching
+	}
+	var log []Assignment
+	for id := 0; id < numPairs; id++ {
+		workers := rng.Perm(len(accuracy))[:answeredBy]
+		for _, w := range workers {
+			ans := truth(id)
+			if rng.Float64() > accuracy[w] {
+				ans = core.LabelOf(ans != core.Matching)
+			}
+			log = append(log, Assignment{Worker: w, PairID: id, Answer: ans})
+		}
+	}
+	return log, truth
+}
+
+func accuracyOf(labels map[int]core.Label, truth func(int) core.Label) float64 {
+	right := 0
+	for id, l := range labels {
+		if l == truth(id) {
+			right++
+		}
+	}
+	return float64(right) / float64(len(labels))
+}
+
+func TestMajorityConsensusBasics(t *testing.T) {
+	log := []Assignment{
+		{Worker: 0, PairID: 7, Answer: core.Matching},
+		{Worker: 1, PairID: 7, Answer: core.Matching},
+		{Worker: 2, PairID: 7, Answer: core.NonMatching},
+		{Worker: 0, PairID: 9, Answer: core.Matching},
+		{Worker: 1, PairID: 9, Answer: core.NonMatching},
+	}
+	got := MajorityConsensus(log)
+	if got[7] != core.Matching {
+		t.Errorf("pair 7 = %v, want matching (2 of 3)", got[7])
+	}
+	if got[9] != core.NonMatching {
+		t.Errorf("pair 9 = %v, want non-matching (tie breaks conservative)", got[9])
+	}
+}
+
+// TestEMBeatsMajorityWithSpammers: with a pool where almost half the
+// answers come from coin-flippers, reliability weighting recovers labels
+// majority voting loses.
+func TestEMBeatsMajorityWithSpammers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// 4 good workers (92%), 3 spammers (50%).
+	accuracy := []float64{0.92, 0.92, 0.92, 0.92, 0.5, 0.5, 0.5}
+	log, truth := syntheticLog(rng, 600, 5, accuracy)
+
+	maj := accuracyOf(MajorityConsensus(log), truth)
+	em, rel := EMConsensus(log, len(accuracy), 12)
+	emAcc := accuracyOf(em, truth)
+	t.Logf("accuracy: majority=%.3f em=%.3f reliabilities=%.2f", maj, emAcc, rel)
+	if emAcc <= maj {
+		t.Errorf("EM accuracy %.3f did not beat majority %.3f", emAcc, maj)
+	}
+	// EM must rank every good worker above every spammer.
+	for g := 0; g < 4; g++ {
+		for s := 4; s < 7; s++ {
+			if rel[g] <= rel[s] {
+				t.Errorf("reliability of good worker %d (%.2f) not above spammer %d (%.2f)",
+					g, rel[g], s, rel[s])
+			}
+		}
+	}
+}
+
+// TestEMMatchesMajorityOnCleanPool: with uniformly reliable workers the two
+// consensus methods agree almost everywhere.
+func TestEMMatchesMajorityOnCleanPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	accuracy := []float64{0.9, 0.9, 0.9, 0.9, 0.9}
+	log, _ := syntheticLog(rng, 400, 3, accuracy)
+	maj := MajorityConsensus(log)
+	em, _ := EMConsensus(log, len(accuracy), 8)
+	differ := 0
+	for id, l := range maj {
+		if em[id] != l {
+			differ++
+		}
+	}
+	if differ > len(maj)/20 {
+		t.Errorf("EM and majority differ on %d of %d pairs with a clean pool", differ, len(maj))
+	}
+}
+
+func TestEMConsensusEmptyLog(t *testing.T) {
+	labels, rel := EMConsensus(nil, 3, 5)
+	if len(labels) != 0 {
+		t.Errorf("labels = %v, want empty", labels)
+	}
+	if len(rel) != 3 {
+		t.Errorf("reliabilities = %v, want prior for all 3 workers", rel)
+	}
+}
+
+// TestPlatformAssignmentLog: the platform records one assignment per
+// (worker, pair) actually answered, consistent with AssignmentsDone.
+func TestPlatformAssignmentLog(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := NewPlatform(evenOddTruth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := testPairs(40)
+	p.Publish(pairs)
+	for {
+		if _, _, ok := p.NextLabel(); !ok {
+			break
+		}
+	}
+	log := p.AssignmentLog()
+	perPair := map[int]int{}
+	for _, a := range log {
+		if a.Worker < 0 || a.Worker >= p.NumWorkers() {
+			t.Fatalf("assignment has worker %d outside pool of %d", a.Worker, p.NumWorkers())
+		}
+		perPair[a.PairID]++
+	}
+	for _, pr := range pairs {
+		if perPair[pr.ID] != cfg.Assignments {
+			t.Errorf("pair %d answered %d times, want %d", pr.ID, perPair[pr.ID], cfg.Assignments)
+		}
+	}
+	if len(log) != p.AssignmentsDone()*0+len(pairs)*cfg.Assignments {
+		t.Errorf("log has %d entries, want %d", len(log), len(pairs)*cfg.Assignments)
+	}
+}
+
+// TestEMOnPlatformLogImprovesSpammyRuns: end to end — run the platform
+// without qualification and with heavy spam; EM reanalysis of its log beats
+// the majority labels the platform delivered.
+func TestEMOnPlatformLogImprovesSpammyRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Qualification = false
+	cfg.SpammerFraction = 0.5
+	cfg.Model = UniformErrorModel{Rate: 0.05}
+	cfg.Seed = 23
+	p, err := NewPlatform(evenOddTruth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := testPairs(400)
+	p.Publish(pairs)
+	majorityWrong := 0
+	for {
+		pr, l, ok := p.NextLabel()
+		if !ok {
+			break
+		}
+		if l != core.LabelOf(evenOddTruth(pr.A, pr.B)) {
+			majorityWrong++
+		}
+	}
+	em, _ := EMConsensus(p.AssignmentLog(), p.NumWorkers(), 12)
+	emWrong := 0
+	for _, pr := range pairs {
+		if em[pr.ID] != core.LabelOf(evenOddTruth(pr.A, pr.B)) {
+			emWrong++
+		}
+	}
+	t.Logf("wrong labels: majority=%d em=%d of %d", majorityWrong, emWrong, len(pairs))
+	if emWrong > majorityWrong {
+		t.Errorf("EM produced more wrong labels (%d) than majority (%d)", emWrong, majorityWrong)
+	}
+}

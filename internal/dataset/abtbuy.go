@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// AbtBuyConfig parameterizes the synthetic Product dataset. The zero value
+// is not usable; start from DefaultAbtBuyConfig.
+type AbtBuyConfig struct {
+	// AbtRecords and BuyRecords size the two sources (paper: 1081 / 1092).
+	AbtRecords, BuyRecords int
+	// HardMatchRate is the fraction of buy-side duplicates that omit the
+	// model code and most descriptors; their similarity to the abt twin
+	// falls below mid thresholds, capping recall like the real Abt-Buy.
+	HardMatchRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultAbtBuyConfig mirrors the paper's Abt-Buy characteristics.
+func DefaultAbtBuyConfig() AbtBuyConfig {
+	return AbtBuyConfig{
+		AbtRecords:    1081,
+		BuyRecords:    1092,
+		HardMatchRate: 0.3,
+		Seed:          2,
+	}
+}
+
+// GenerateAbtBuy builds the synthetic Product dataset: two sources of
+// product records (name + price) with mostly one-to-one matches, cluster
+// sizes dominated by 2 with a short tail to 6 as in Figure 10(b).
+func GenerateAbtBuy(cfg AbtBuyConfig) *Dataset {
+	if cfg.AbtRecords <= 0 || cfg.BuyRecords <= 0 {
+		panic(fmt.Sprintf("dataset: invalid AbtBuyConfig %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &perturber{rng: rng}
+
+	// Entity plan: (records on abt side, records on buy side). Mostly 1+1;
+	// a short tail of 3..6-sized clusters; singletons fill exact counts.
+	type spec struct{ a, b int }
+	var specs []spec
+	add := func(n int, s spec) {
+		for i := 0; i < n; i++ {
+			specs = append(specs, s)
+		}
+	}
+	// The multi-record tail scales with dataset size so reduced-scale
+	// configurations keep the full-scale mix of 1:1 and violating entities.
+	scale := func(n int) int {
+		scaled := n * min(cfg.AbtRecords, cfg.BuyRecords) / 1000
+		if scaled < 1 {
+			scaled = 1
+		}
+		return scaled
+	}
+	add(scale(2), spec{3, 3})  // size 6
+	add(scale(4), spec{2, 3})  // size 5
+	add(scale(12), spec{2, 2}) // size 4
+	add(scale(20), spec{2, 1}) // size 3
+	add(scale(20), spec{1, 2}) // size 3
+	usedA, usedB := 0, 0
+	for _, s := range specs {
+		usedA += s.a
+		usedB += s.b
+	}
+	// One-to-one matched entities take ~90% of the remaining capacity of the
+	// smaller side; the rest become unmatched singletons on each side.
+	n11 := min(cfg.AbtRecords-usedA, cfg.BuyRecords-usedB) * 9 / 10
+	if n11 < 0 {
+		n11 = 0
+	}
+	add(n11, spec{1, 1})
+	usedA += n11
+	usedB += n11
+	add(cfg.AbtRecords-usedA, spec{1, 0}) // abt-only singletons
+	add(cfg.BuyRecords-usedB, spec{0, 1}) // buy-only singletons
+
+	d := &Dataset{Name: "product", NumEntities: len(specs), Bipartite: true}
+	// Sibling families: runs of consecutive entities share brand, noun and
+	// descriptors but differ in model code and price — the same-line product
+	// variants that make retail entity resolution hard (and that give
+	// non-matching pairs their mid-range similarity tail).
+	var family *baseProduct
+	familyLeft := 0
+	for entity, s := range specs {
+		var base *baseProduct
+		switch {
+		case familyLeft > 0:
+			base = family.sibling(p)
+			familyLeft--
+		case p.maybe(0.45):
+			base = newBaseProduct(p)
+			family = base
+			familyLeft = 1 + p.rng.Intn(3) // 1..3 more variants follow
+		default:
+			base = newBaseProduct(p)
+		}
+		for i := 0; i < s.a; i++ {
+			rec := base.renderAbt(p, i)
+			rec.ID = int32(len(d.Records))
+			rec.Source = "abt"
+			rec.Entity = int32(entity)
+			d.Records = append(d.Records, rec)
+		}
+		for i := 0; i < s.b; i++ {
+			rec := base.renderBuy(p, i, cfg.HardMatchRate)
+			rec.ID = int32(len(d.Records))
+			rec.Source = "buy"
+			rec.Entity = int32(entity)
+			d.Records = append(d.Records, rec)
+		}
+	}
+	rng.Shuffle(len(d.Records), func(i, j int) { d.Records[i], d.Records[j] = d.Records[j], d.Records[i] })
+	for i := range d.Records {
+		d.Records[i].ID = int32(i)
+		if d.Records[i].Source == "abt" {
+			d.SourceA = append(d.SourceA, int32(i))
+		} else {
+			d.SourceB = append(d.SourceB, int32(i))
+		}
+	}
+	return d
+}
+
+// baseProduct is the canonical product an entity's records derive from.
+type baseProduct struct {
+	brand       string
+	noun        string
+	model       string
+	descriptors []string
+	price       float64
+}
+
+func newBaseProduct(p *perturber) *baseProduct {
+	b := &baseProduct{
+		brand: p.pick(productBrands),
+		noun:  p.pick(productNouns),
+		price: float64(20+p.rng.Intn(2480)) + float64(p.rng.Intn(100))/100,
+	}
+	// Model codes like "kdl40ve20": brand-ish letters + digits. They are the
+	// highly discriminative token of a product name.
+	b.model = fmt.Sprintf("%s%d%s%d",
+		string([]byte{byte('a' + p.rng.Intn(26)), byte('a' + p.rng.Intn(26)), byte('a' + p.rng.Intn(26))}),
+		10+p.rng.Intn(90),
+		string([]byte{byte('a' + p.rng.Intn(26)), byte('a' + p.rng.Intn(26))}),
+		p.rng.Intn(10))
+	b.descriptors = p.pickN(productDescriptors, 3+p.rng.Intn(3))
+	return b
+}
+
+// sibling derives a same-family variant: shared brand, noun and most
+// descriptors, but its own model code and price.
+func (b *baseProduct) sibling(p *perturber) *baseProduct {
+	s := newBaseProduct(p)
+	s.brand = b.brand
+	s.noun = b.noun
+	s.descriptors = append([]string(nil), b.descriptors...)
+	if len(s.descriptors) > 1 && p.maybe(0.6) {
+		// Swap one descriptor so variants are not purely model-distinguished.
+		s.descriptors[p.rng.Intn(len(s.descriptors))] = p.pick(productDescriptors)
+	}
+	return s
+}
+
+// renderAbt produces an abt-side record: clean "brand model noun
+// descriptors" naming. Additional abt records of the same entity (variant
+// listings) shuffle descriptors and may tweak the price.
+func (b *baseProduct) renderAbt(p *perturber, idx int) Record {
+	desc := b.descriptors
+	if idx > 0 {
+		desc = p.shuffle(p.dropWords(desc, 1))
+	}
+	name := strings.Join(append([]string{b.brand, b.model, b.noun}, desc...), " ")
+	return Record{
+		Fields: []Field{
+			{Name: "name", Value: name},
+			{Name: "price", Value: fmt.Sprintf("%.2f", b.price)},
+		},
+	}
+}
+
+// renderBuy produces a buy-side record: marketing-flavoured naming with
+// shuffled descriptors. Hard records omit the model code and most
+// descriptors, making the match difficult for similarity functions.
+func (b *baseProduct) renderBuy(p *perturber, idx int, hardRate float64) Record {
+	hard := p.maybe(hardRate)
+	desc := p.shuffle(b.descriptors)
+	var parts []string
+	price := b.price
+	switch {
+	case hard:
+		// Brand + noun + marketing chatter: no model code, no descriptors,
+		// and a different listed price. Only two informative tokens remain
+		// shared with the abt twin.
+		parts = []string{b.brand, b.noun}
+		parts = append(parts, p.pickN(marketingWords, 2+p.rng.Intn(2))...)
+		price += float64(p.rng.Intn(41)-20) + float64(p.rng.Intn(100))/100
+	default:
+		// Keep a variable subset of descriptors so matching similarities
+		// spread continuously instead of clustering at one value.
+		keep := len(desc) - p.rng.Intn(min(3, len(desc)))
+		parts = append([]string{b.brand}, desc[:keep]...)
+		if p.maybe(0.85) {
+			parts = append(parts, b.noun)
+		}
+		parts = append(parts, b.model)
+		if p.maybe(0.25) {
+			parts = p.typoWords(parts, 1)
+		}
+		for i := 0; i < p.rng.Intn(3); i++ {
+			parts = append(parts, p.pick(marketingWords))
+		}
+		if p.maybe(0.5) {
+			price += float64(p.rng.Intn(21) - 10)
+		}
+	}
+	return Record{
+		Fields: []Field{
+			{Name: "name", Value: strings.Join(parts, " ")},
+			{Name: "price", Value: fmt.Sprintf("%.2f", price)},
+		},
+	}
+}

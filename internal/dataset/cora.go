@@ -1,0 +1,272 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// CoraConfig parameterizes the synthetic Paper dataset. The zero value is
+// not usable; start from DefaultCoraConfig.
+type CoraConfig struct {
+	// Records is the total number of citation records (paper: 997).
+	Records int
+	// LargestCluster is the size of the biggest duplicate cluster
+	// (paper: 102).
+	LargestCluster int
+	// TailExponent shapes the power-law decay of cluster sizes; larger
+	// means faster decay toward singletons.
+	TailExponent float64
+	// HeavyNoiseRate is the fraction of duplicate records that receive
+	// aggressive perturbation, pushing some intra-cluster similarities
+	// below mid thresholds.
+	HeavyNoiseRate float64
+	// Seed drives all randomness; equal configs generate equal datasets.
+	Seed int64
+}
+
+// DefaultCoraConfig mirrors the paper's Cora characteristics.
+func DefaultCoraConfig() CoraConfig {
+	return CoraConfig{
+		Records:        997,
+		LargestCluster: 102,
+		TailExponent:   0.9,
+		HeavyNoiseRate: 0.15,
+		Seed:           1,
+	}
+}
+
+// GenerateCora builds the synthetic Paper dataset: citation records with
+// Author/Title/Venue/Date/Pages fields, duplicated into clusters whose size
+// distribution is heavy-tailed like Figure 10(a).
+func GenerateCora(cfg CoraConfig) *Dataset {
+	if cfg.Records <= 0 || cfg.LargestCluster <= 0 || cfg.LargestCluster > cfg.Records {
+		panic(fmt.Sprintf("dataset: invalid CoraConfig %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &perturber{rng: rng}
+
+	sizes := coraClusterSizes(cfg)
+	d := &Dataset{Name: "paper", NumEntities: len(sizes)}
+	// Research-group structure: runs of consecutive entities share authors,
+	// venue and part of the title vocabulary — the same-group different-
+	// paper citations that make real Cora's non-matching pairs deceptive.
+	var group *basePaper
+	groupLeft := 0
+	for entity, size := range sizes {
+		var base *basePaper
+		switch {
+		case groupLeft > 0:
+			base = group.sibling(p)
+			groupLeft--
+		case p.maybe(0.5):
+			base = newBasePaper(p)
+			group = base
+			groupLeft = 1 + p.rng.Intn(3)
+		default:
+			base = newBasePaper(p)
+		}
+		for i := 0; i < size; i++ {
+			heavy := i > 0 && p.maybe(cfg.HeavyNoiseRate)
+			rec := base.render(p, i == 0, heavy)
+			rec.ID = int32(len(d.Records))
+			rec.Source = "cora"
+			rec.Entity = int32(entity)
+			d.Records = append(d.Records, rec)
+		}
+	}
+	// Shuffle record order so entity blocks are not contiguous, then
+	// re-assign dense IDs.
+	rng.Shuffle(len(d.Records), func(i, j int) { d.Records[i], d.Records[j] = d.Records[j], d.Records[i] })
+	for i := range d.Records {
+		d.Records[i].ID = int32(i)
+	}
+	return d
+}
+
+// coraClusterSizes builds the heavy-tailed size list: a power-law head
+// starting at LargestCluster, padded with 2s and 1s to the exact record
+// count.
+func coraClusterSizes(cfg CoraConfig) []int {
+	var sizes []int
+	total := 0
+	// Keep the head at most ~3/4 of the dataset so a realistic tail of
+	// small clusters remains.
+	budget := cfg.Records * 3 / 4
+	for i := 1; ; i++ {
+		s := int(math.Round(float64(cfg.LargestCluster) / math.Pow(float64(i), cfg.TailExponent)))
+		if s < 3 || total+s > budget {
+			break
+		}
+		sizes = append(sizes, s)
+		total += s
+	}
+	// Pad with pairs, then singletons.
+	remaining := cfg.Records - total
+	pairs := remaining * 2 / 5 // records in size-2 clusters
+	for i := 0; i+1 < pairs; i += 2 {
+		sizes = append(sizes, 2)
+		remaining -= 2
+	}
+	for ; remaining > 0; remaining-- {
+		sizes = append(sizes, 1)
+	}
+	return sizes
+}
+
+// basePaper is the canonical citation an entity's records perturb.
+type basePaper struct {
+	authors []author
+	title   []string
+	venue   venue
+	year    int
+	pageLo  int
+	pageHi  int
+}
+
+type author struct {
+	first string
+	last  string
+}
+
+func newBasePaper(p *perturber) *basePaper {
+	b := &basePaper{
+		venue:  venues[p.rng.Intn(len(venues))],
+		year:   1988 + p.rng.Intn(16),
+		pageLo: 1 + p.rng.Intn(400),
+	}
+	b.pageHi = b.pageLo + 5 + p.rng.Intn(30)
+	numAuthors := 1 + p.rng.Intn(3)
+	for i := 0; i < numAuthors; i++ {
+		b.authors = append(b.authors, author{first: p.pick(firstNames), last: p.pick(lastNames)})
+	}
+	numTitle := 5 + p.rng.Intn(7)
+	// Bias toward the common head of titleWords so different entities share
+	// vocabulary, giving non-matching pairs a realistic low-similarity tail.
+	for i := 0; i < numTitle; i++ {
+		var w string
+		if p.maybe(0.55) {
+			w = titleWords[p.rng.Intn(30)]
+		} else {
+			w = p.pick(titleWords)
+		}
+		b.title = append(b.title, w)
+	}
+	return b
+}
+
+// sibling derives a different paper by the same research group: mostly the
+// same authors and venue, and roughly half the title vocabulary, but its
+// own year, pages and remaining title words.
+func (b *basePaper) sibling(p *perturber) *basePaper {
+	s := newBasePaper(p)
+	s.authors = append([]author(nil), b.authors...)
+	if p.maybe(0.4) {
+		// The group gains or swaps a co-author between papers.
+		if len(s.authors) > 1 && p.maybe(0.5) {
+			s.authors[p.rng.Intn(len(s.authors))] = author{first: p.pick(firstNames), last: p.pick(lastNames)}
+		} else {
+			s.authors = append(s.authors, author{first: p.pick(firstNames), last: p.pick(lastNames)})
+		}
+	}
+	if p.maybe(0.6) {
+		s.venue = b.venue
+	}
+	// Carry over about half of the sibling's title words.
+	for i := range s.title {
+		if i < len(b.title) && p.maybe(0.5) {
+			s.title[i] = b.title[i]
+		}
+	}
+	return s
+}
+
+// render produces one record of the entity. The first record (canonical) is
+// unperturbed; later ones vary formatting, and heavy records are aggressively
+// corrupted.
+func (b *basePaper) render(p *perturber, canonical, heavy bool) Record {
+	authors := b.renderAuthors(p, canonical, heavy)
+	title := append([]string(nil), b.title...)
+	venueStr := b.venue.full
+	date := fmt.Sprintf("%d", b.year)
+	pages := fmt.Sprintf("pages %d-%d", b.pageLo, b.pageHi)
+
+	if !canonical {
+		if p.maybe(0.35) {
+			venueStr = b.venue.abbrev
+		}
+		if p.maybe(0.2) {
+			venueStr = ""
+		}
+		if p.maybe(0.3) {
+			title = p.typoWords(title, 1)
+		}
+		if p.maybe(0.3) {
+			title = p.dropWords(title, 1)
+		}
+		if p.maybe(0.25) {
+			pages = fmt.Sprintf("pp %d %d", b.pageLo, b.pageHi)
+		}
+		if p.maybe(0.15) {
+			pages = ""
+		}
+		if p.maybe(0.1) {
+			date = ""
+		}
+		if heavy {
+			// Aggressive corruption: truncate the title, drop venue and
+			// pages, typo what remains.
+			if len(title) > 2 {
+				title = title[:2+p.rng.Intn(len(title)-2)]
+			}
+			title = p.typoWords(title, 2)
+			if p.maybe(0.6) {
+				venueStr = ""
+			}
+			if p.maybe(0.6) {
+				pages = ""
+			}
+			if p.maybe(0.4) {
+				date = ""
+			}
+		}
+	}
+
+	return Record{
+		Fields: []Field{
+			{Name: "author", Value: strings.Join(authors, " ")},
+			{Name: "title", Value: strings.Join(title, " ")},
+			{Name: "venue", Value: venueStr},
+			{Name: "date", Value: date},
+			{Name: "pages", Value: pages},
+		},
+	}
+}
+
+func (b *basePaper) renderAuthors(p *perturber, canonical, heavy bool) []string {
+	authors := append([]author(nil), b.authors...)
+	if !canonical && len(authors) > 1 && p.maybe(0.2) {
+		// Occasionally drop a trailing co-author.
+		authors = authors[:len(authors)-1]
+	}
+	style := 0
+	if !canonical {
+		style = p.rng.Intn(3)
+	}
+	out := make([]string, 0, len(authors))
+	for _, a := range authors {
+		switch style {
+		case 1: // initial + last
+			out = append(out, fmt.Sprintf("%c %s", a.first[0], a.last))
+		case 2: // last only
+			out = append(out, a.last)
+		default: // full
+			out = append(out, a.first+" "+a.last)
+		}
+	}
+	if heavy && len(out) > 1 {
+		out = out[:1]
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import "math/rand"
+
+// perturber bundles the string-noise operations the generators apply to
+// duplicate records: typos, token drops, abbreviations, reorderings.
+type perturber struct {
+	rng *rand.Rand
+}
+
+// typo corrupts one position of w: swap of adjacent letters, a dropped
+// letter, or a doubled letter. Words shorter than 3 runes pass through.
+func (p *perturber) typo(w string) string {
+	r := []rune(w)
+	if len(r) < 3 {
+		return w
+	}
+	switch p.rng.Intn(3) {
+	case 0: // swap adjacent
+		i := p.rng.Intn(len(r) - 1)
+		r[i], r[i+1] = r[i+1], r[i]
+	case 1: // drop
+		i := p.rng.Intn(len(r))
+		r = append(r[:i], r[i+1:]...)
+	default: // double
+		i := p.rng.Intn(len(r))
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}
+
+// maybe returns true with probability prob.
+func (p *perturber) maybe(prob float64) bool {
+	return p.rng.Float64() < prob
+}
+
+// dropWords removes up to max random words from ws (never all of them).
+func (p *perturber) dropWords(ws []string, max int) []string {
+	out := append([]string(nil), ws...)
+	for i := 0; i < max && len(out) > 1; i++ {
+		j := p.rng.Intn(len(out))
+		out = append(out[:j], out[j+1:]...)
+	}
+	return out
+}
+
+// typoWords corrupts up to max random words of ws.
+func (p *perturber) typoWords(ws []string, max int) []string {
+	out := append([]string(nil), ws...)
+	for i := 0; i < max && len(out) > 0; i++ {
+		j := p.rng.Intn(len(out))
+		out[j] = p.typo(out[j])
+	}
+	return out
+}
+
+// shuffle returns a shuffled copy of ws.
+func (p *perturber) shuffle(ws []string) []string {
+	out := append([]string(nil), ws...)
+	p.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// pick returns a uniformly random element of ws.
+func (p *perturber) pick(ws []string) string {
+	return ws[p.rng.Intn(len(ws))]
+}
+
+// pickN returns n distinct random elements of ws (n ≤ len(ws)).
+func (p *perturber) pickN(ws []string, n int) []string {
+	idx := p.rng.Perm(len(ws))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = ws[j]
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package dataset
+
+// Embedded vocabularies for the synthetic generators. The lists are sized so
+// that cross-entity token overlap produces a realistic low-similarity tail
+// (shared venues, common title words, shared brands/categories) while
+// entity-specific tokens (surnames, model codes) keep matches separable.
+
+var firstNames = []string{
+	"james", "mary", "robert", "jennifer", "michael", "linda", "david",
+	"elizabeth", "william", "barbara", "richard", "susan", "joseph",
+	"jessica", "thomas", "karen", "charles", "sarah", "christopher",
+	"lisa", "daniel", "nancy", "matthew", "betty", "anthony", "sandra",
+	"mark", "margaret", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle", "kenneth", "carol",
+	"kevin", "amanda", "brian", "melissa", "george", "deborah", "timothy",
+	"stephanie", "ronald", "rebecca", "jason", "laura", "edward", "helen",
+	"jeffrey", "sharon", "ryan", "cynthia", "jacob", "kathleen",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+	"parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+	"morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+	"cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+	"kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+	"wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+	"price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+	"ross", "foster", "jimenez", "wang", "li", "zhang", "chen", "feng",
+}
+
+// titleWords deliberately mixes highly common research words (front of the
+// list, drawn often) with rarer technical terms so that titles of different
+// entities share some tokens.
+var titleWords = []string{
+	"learning", "data", "analysis", "model", "system", "query", "network",
+	"efficient", "approach", "using", "algorithm", "distributed", "method",
+	"adaptive", "framework", "optimization", "inference", "classification",
+	"clustering", "estimation", "recognition", "retrieval", "processing",
+	"mining", "search", "knowledge", "information", "database", "parallel",
+	"probabilistic", "bayesian", "neural", "genetic", "markov", "kernel",
+	"decision", "reinforcement", "supervised", "induction", "reasoning",
+	"planning", "scheduling", "routing", "caching", "indexing", "sampling",
+	"streaming", "approximate", "incremental", "online", "dynamic",
+	"temporal", "spatial", "relational", "semantic", "syntactic", "logic",
+	"constraint", "boolean", "stochastic", "hierarchical", "structured",
+	"latent", "hidden", "sparse", "robust", "scalable", "optimal",
+	"bounds", "complexity", "convergence", "generalization", "prediction",
+	"regression", "feature", "selection", "extraction", "integration",
+	"resolution", "matching", "alignment", "translation", "recovery",
+	"detection", "tracking", "segmentation", "compression", "encoding",
+	"transactions", "concurrency", "replication", "consistency", "storage",
+	"memory", "architecture", "hardware", "compiler", "language",
+	"programming", "verification", "synthesis", "specification", "protocol",
+	"agents", "multiagent", "games", "auctions", "markets", "belief",
+	"uncertainty", "fuzzy", "rough", "evolutionary", "swarm", "gradient",
+	"boosting", "bagging", "ensemble", "committee", "perceptron", "vector",
+	"support", "margin", "risk", "empirical", "theoretic", "functional",
+}
+
+// venue holds a full name and its common abbreviation; duplicates of a
+// record may cite either form.
+type venue struct {
+	full   string
+	abbrev string
+}
+
+var venues = []venue{
+	{"proceedings of the international conference on machine learning", "icml"},
+	{"proceedings of the national conference on artificial intelligence", "aaai"},
+	{"proceedings of the international joint conference on artificial intelligence", "ijcai"},
+	{"machine learning", "ml journal"},
+	{"artificial intelligence", "aij"},
+	{"journal of artificial intelligence research", "jair"},
+	{"proceedings of the acm sigmod international conference on management of data", "sigmod"},
+	{"proceedings of the international conference on very large data bases", "vldb"},
+	{"proceedings of the international conference on data engineering", "icde"},
+	{"acm transactions on database systems", "tods"},
+	{"proceedings of the conference on neural information processing systems", "nips"},
+	{"neural computation", "neural comp"},
+	{"ieee transactions on pattern analysis and machine intelligence", "tpami"},
+	{"proceedings of the international conference on knowledge discovery and data mining", "kdd"},
+	{"data mining and knowledge discovery", "dmkd"},
+	{"proceedings of the conference on computational learning theory", "colt"},
+	{"ieee transactions on knowledge and data engineering", "tkde"},
+	{"communications of the acm", "cacm"},
+	{"journal of the acm", "jacm"},
+	{"proceedings of the symposium on principles of database systems", "pods"},
+	{"information systems", "inf syst"},
+	{"proceedings of the world wide web conference", "www"},
+	{"proceedings of the conference on information and knowledge management", "cikm"},
+	{"pattern recognition", "pattern recog"},
+	{"ieee transactions on neural networks", "tnn"},
+}
+
+var productBrands = []string{
+	"sony", "samsung", "panasonic", "toshiba", "sharp", "philips", "lg",
+	"canon", "nikon", "olympus", "kodak", "fujifilm", "casio", "garmin",
+	"tomtom", "bose", "jbl", "yamaha", "pioneer", "kenwood", "denon",
+	"onkyo", "sanyo", "haier", "frigidaire", "whirlpool", "maytag", "amana",
+	"danby", "delonghi", "cuisinart", "krups", "braun", "oster", "sunbeam",
+	"hamilton", "kitchenaid", "hoover", "eureka", "bissell", "dyson",
+	"apple", "sandisk", "netgear", "linksys", "dlink", "belkin", "logitech",
+}
+
+var productNouns = []string{
+	"television", "camcorder", "camera", "receiver", "speaker", "subwoofer",
+	"headphones", "soundbar", "turntable", "amplifier", "tuner", "radio",
+	"microwave", "refrigerator", "freezer", "dishwasher", "washer", "dryer",
+	"range", "oven", "cooktop", "blender", "toaster", "grill", "juicer",
+	"espresso", "coffeemaker", "kettle", "mixer", "processor", "vacuum",
+	"purifier", "humidifier", "dehumidifier", "heater", "fan", "conditioner",
+	"player", "recorder", "adapter", "router", "switch", "drive", "monitor",
+	"keyboard", "mouse", "printer", "scanner", "projector", "telephone",
+}
+
+var productDescriptors = []string{
+	"black", "white", "silver", "stainless", "steel", "compact", "portable",
+	"digital", "wireless", "bluetooth", "hd", "widescreen", "lcd", "plasma",
+	"led", "inch", "watt", "channel", "zoom", "optical", "megapixel",
+	"rechargeable", "cordless", "programmable", "automatic", "countertop",
+	"builtin", "front", "load", "top", "side", "door", "cu", "ft", "series",
+	"edition", "pro", "mini", "slim", "dual", "triple", "quiet", "energy",
+	"star", "remote", "control", "dolby", "surround", "stereo", "home",
+	"theater", "system", "kit", "bundle", "pack",
+}
+
+var marketingWords = []string{
+	"new", "genuine", "oem", "factory", "sealed", "refurbished", "sale",
+	"free", "shipping", "warranty", "authorized", "dealer", "brand",
+}

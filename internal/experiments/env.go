@@ -1,0 +1,153 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6): one runner per experiment, sharing generated
+// datasets, machine likelihoods, and candidate sets through Env.
+//
+// Experiment inventory (see DESIGN.md for the full index):
+//
+//	Fig10  cluster-size distributions of the two datasets
+//	Fig11  #crowdsourced pairs, Transitive vs Non-Transitive, per threshold
+//	Fig12  #crowdsourced pairs per labeling order, per threshold
+//	Fig13  parallel vs non-parallel round sizes, threshold 0.3
+//	Fig14  same at threshold 0.4
+//	Fig15  available pairs in the platform vs #crowdsourced, threshold 0.3
+//	Table1 completion time, Non-Parallel vs Parallel(ID), perfect answers
+//	Table2 HITs / time / quality, Transitive vs Non-Transitive, noisy crowd
+package experiments
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/candgen"
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/crowd"
+	"crowdjoin/internal/dataset"
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	// Cora and AbtBuy configure the two synthetic datasets.
+	Cora   dataset.CoraConfig
+	AbtBuy dataset.AbtBuyConfig
+	// Thresholds is the likelihood sweep of Figures 11 and 12, descending
+	// as in the paper.
+	Thresholds []float64
+	// MinThreshold bounds the master candidate list (the smallest
+	// threshold any experiment uses).
+	MinThreshold float64
+	// Weighting selects the machine similarity.
+	Weighting candgen.Weighting
+	// RandomTrials is how many random orders Figure 12 averages.
+	RandomTrials int
+	// Crowd configures the simulated platform for Figure 15 and the
+	// tables.
+	Crowd crowd.Config
+	// NoisyModel is the worker error model of Table 2.
+	NoisyModel crowd.ErrorModel
+	// Seed drives experiment-level randomness (random orders, worker
+	// selection).
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup at full dataset scale.
+func DefaultConfig() Config {
+	return Config{
+		Cora:         dataset.DefaultCoraConfig(),
+		AbtBuy:       dataset.DefaultAbtBuyConfig(),
+		Thresholds:   []float64{0.5, 0.4, 0.3, 0.2, 0.1},
+		MinThreshold: 0.1,
+		Weighting:    candgen.Unweighted,
+		RandomTrials: 3,
+		Crowd:        crowd.DefaultConfig(),
+		NoisyModel:   crowd.SimilarityConfusedModel{BaseAccuracy: 0.95, MatchConfusion: 0.12, NonMatchConfusion: 0.65},
+		Seed:         42,
+	}
+}
+
+// SmallConfig is a fast, reduced-scale variant for tests and smoke runs.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cora.Records = 220
+	cfg.Cora.LargestCluster = 40
+	cfg.AbtBuy.AbtRecords = 180
+	cfg.AbtBuy.BuyRecords = 190
+	cfg.RandomTrials = 2
+	// Smaller HITs keep the platform experiments meaningfully parallel at
+	// this reduced pair scale (full scale uses the paper's 20).
+	cfg.Crowd.BatchSize = 5
+	return cfg
+}
+
+// Workload bundles one dataset with its machine outputs.
+type Workload struct {
+	Dataset *dataset.Dataset
+	// Master holds every candidate pair with likelihood ≥ MinThreshold,
+	// sorted by likelihood descending; per-threshold candidate sets are
+	// prefixes (candgen.ForThreshold).
+	Master []core.Pair
+	Truth  *core.TruthOracle
+}
+
+// Candidates returns the candidate set at the given threshold with dense
+// pair IDs.
+func (w *Workload) Candidates(threshold float64) []core.Pair {
+	return candgen.ForThreshold(w.Master, threshold)
+}
+
+// Env holds everything the experiment runners share.
+type Env struct {
+	Cfg     Config
+	Paper   *Workload
+	Product *Workload
+}
+
+// NewEnv generates both datasets and their candidate sets.
+func NewEnv(cfg Config) (*Env, error) {
+	if len(cfg.Thresholds) == 0 {
+		return nil, fmt.Errorf("experiments: no thresholds configured")
+	}
+	for _, th := range cfg.Thresholds {
+		if th < cfg.MinThreshold {
+			return nil, fmt.Errorf("experiments: threshold %v below MinThreshold %v", th, cfg.MinThreshold)
+		}
+	}
+	paper, err := newWorkload(dataset.GenerateCora(cfg.Cora), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: paper workload: %w", err)
+	}
+	product, err := newWorkload(dataset.GenerateAbtBuy(cfg.AbtBuy), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: product workload: %w", err)
+	}
+	return &Env{Cfg: cfg, Paper: paper, Product: product}, nil
+}
+
+func newWorkload(d *dataset.Dataset, cfg Config) (*Workload, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	scorer := candgen.NewScorer(d, cfg.Weighting)
+	master, err := candgen.Candidates(d, scorer, cfg.MinThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Dataset: d,
+		Master:  master,
+		Truth:   &core.TruthOracle{Entity: d.Entities()},
+	}, nil
+}
+
+// Workloads returns the two workloads with their display names, in the
+// paper's order.
+func (e *Env) Workloads() []struct {
+	Name string
+	W    *Workload
+} {
+	return []struct {
+		Name string
+		W    *Workload
+	}{
+		{"Paper", e.Paper},
+		{"Product", e.Product},
+	}
+}

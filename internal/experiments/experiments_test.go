@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallEnv is shared across tests; building it once keeps the suite fast.
+var testEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if testEnv == nil {
+		e, err := NewEnv(SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEnv = e
+	}
+	return testEnv
+}
+
+func TestFig10Shapes(t *testing.T) {
+	r := env(t).Fig10()
+	if got, want := MaxClusterSize(r.Paper), SmallConfig().Cora.LargestCluster; got != want {
+		t.Errorf("paper max cluster = %d, want %d", got, want)
+	}
+	if got := MaxClusterSize(r.Product); got > 6 {
+		t.Errorf("product max cluster = %d, want ≤ 6", got)
+	}
+	if !strings.Contains(r.String(), "Figure 10") {
+		t.Error("rendering lacks title")
+	}
+}
+
+// TestFig11TransitivitySaves: transitive labeling always needs at most as
+// many crowdsourced pairs as non-transitive, the saving grows as clusters
+// connect (Paper ≫ Product), and the series is monotone in the threshold.
+func TestFig11TransitivitySaves(t *testing.T) {
+	r, err := env(t).Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, rows []Fig11Row) {
+		prevCand := -1
+		for _, row := range rows {
+			if row.Transitive > row.NonTransitive {
+				t.Errorf("%s@%.1f: transitive %d > non-transitive %d",
+					name, row.Threshold, row.Transitive, row.NonTransitive)
+			}
+			if prevCand >= 0 && row.NonTransitive < prevCand {
+				t.Errorf("%s@%.1f: candidate count decreased when lowering threshold",
+					name, row.Threshold)
+			}
+			prevCand = row.NonTransitive
+		}
+	}
+	check("Paper", r.Paper)
+	check("Product", r.Product)
+
+	paperAt3 := findFig11(r.Paper, 0.3)
+	productAt3 := findFig11(r.Product, 0.3)
+	if paperAt3.Saving() < 0.5 {
+		t.Errorf("paper saving at 0.3 = %.2f, want ≥ 0.5 (paper reports ~0.95)", paperAt3.Saving())
+	}
+	if productAt3.Saving() >= paperAt3.Saving() {
+		t.Errorf("product saving %.2f should be well below paper's %.2f",
+			productAt3.Saving(), paperAt3.Saving())
+	}
+}
+
+func findFig11(rows []Fig11Row, th float64) Fig11Row {
+	for _, r := range rows {
+		if r.Threshold == th {
+			return r
+		}
+	}
+	return Fig11Row{}
+}
+
+// TestFig12OrderRanking: optimal ≤ expected ≤ worst, random between optimal
+// and worst; expected tracks optimal closely (Section 6.2's conclusion).
+func TestFig12OrderRanking(t *testing.T) {
+	r, err := env(t).Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]Fig12Row{r.Paper, r.Product} {
+		for _, row := range rows {
+			if row.Optimal > row.Expected {
+				t.Errorf("@%.1f optimal %d > expected %d", row.Threshold, row.Optimal, row.Expected)
+			}
+			if row.Expected > row.Worst {
+				t.Errorf("@%.1f expected %d > worst %d", row.Threshold, row.Expected, row.Worst)
+			}
+			if row.Random < float64(row.Optimal)-1e-9 || row.Random > float64(row.Worst)+1e-9 {
+				t.Errorf("@%.1f random %.1f outside [optimal %d, worst %d]",
+					row.Threshold, row.Random, row.Optimal, row.Worst)
+			}
+		}
+	}
+	// The headline claim: the worst order costs several times the optimal
+	// on the paper dataset at the lowest threshold.
+	last := r.Paper[len(r.Paper)-1]
+	if ratio := float64(last.Worst) / float64(last.Optimal); ratio < 2 {
+		t.Errorf("paper@%.1f worst/optimal = %.1f, want ≥ 2 (paper reports ~26x)", last.Threshold, ratio)
+	}
+}
+
+// TestFig13ParallelCollapsesIterations: the parallel algorithm needs far
+// fewer iterations than pairs, with a front-loaded first round.
+func TestFig13ParallelCollapsesIterations(t *testing.T) {
+	r, err := env(t).Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []*ParallelRunResult{r.Paper, r.Product} {
+		if len(run.RoundSizes) == 0 {
+			t.Fatal("no rounds")
+		}
+		if len(run.RoundSizes) >= run.NonParallelIterations {
+			t.Errorf("parallel used %d iterations for %d sequential pairs",
+				len(run.RoundSizes), run.NonParallelIterations)
+		}
+		maxRound := 0
+		for _, s := range run.RoundSizes {
+			if s > maxRound {
+				maxRound = s
+			}
+		}
+		if run.RoundSizes[0] != maxRound {
+			t.Errorf("first round %d is not the largest (%d): %v",
+				run.RoundSizes[0], maxRound, run.RoundSizes)
+		}
+	}
+}
+
+// TestFig14SparserGraphFewerIterations: a higher threshold yields fewer (or
+// equal) parallel iterations than 0.3, as the paper observes.
+func TestFig14SparserGraphFewerIterations(t *testing.T) {
+	e := env(t)
+	r13, err := e.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r14, err := e.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r14.Paper.RoundSizes) > len(r13.Paper.RoundSizes) {
+		t.Errorf("paper: iterations at 0.4 (%d) exceed iterations at 0.3 (%d)",
+			len(r14.Paper.RoundSizes), len(r13.Paper.RoundSizes))
+	}
+}
+
+// TestFig15OptimizationsKeepPlatformStocked: instant decision dominates
+// plain parallel in availability mass, and non-matching-first dominates
+// plain instant decision, on the matching-heavy Paper dataset.
+func TestFig15OptimizationsKeepPlatformStocked(t *testing.T) {
+	r, err := env(t).Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := map[Fig15Variant]int{}
+	for _, tr := range r.Paper {
+		mass[tr.Variant] = tr.AvailabilityMass()
+	}
+	if mass[VariantInstant] < mass[VariantParallel] {
+		t.Errorf("ID mass %d < plain %d", mass[VariantInstant], mass[VariantParallel])
+	}
+	if mass[VariantInstantNF] < mass[VariantInstant] {
+		t.Errorf("ID+NF mass %d < ID %d", mass[VariantInstantNF], mass[VariantInstant])
+	}
+}
+
+// TestTable1ParallelFaster: Parallel(ID) beats Non-Parallel by a large
+// factor on both datasets with the same HITs.
+func TestTable1ParallelFaster(t *testing.T) {
+	r, err := env(t).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.HITs == 0 {
+			t.Fatalf("%s: no HITs", row.Dataset)
+		}
+		speedup := row.NonParallelHours / row.ParallelIDHours
+		if speedup < 2 {
+			t.Errorf("%s: speedup %.1fx, want ≥ 2x (paper reports ~7-10x)", row.Dataset, speedup)
+		}
+	}
+}
+
+// TestTable2TransitiveSavesHITsWithSmallQualityLoss: Transitive publishes
+// fewer HITs than Non-Transitive; F-measure drops by less than 15 points
+// (the paper reports ~5 points on Paper, ~0 on Product).
+func TestTable2TransitiveSavesHITsWithSmallQualityLoss(t *testing.T) {
+	r, err := env(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	byKey := map[string]Table2Row{}
+	for _, row := range r.Rows {
+		byKey[row.Dataset+"/"+row.Method] = row
+	}
+	for _, ds := range []string{"Paper", "Product"} {
+		nt, tr := byKey[ds+"/Non-Transitive"], byKey[ds+"/Transitive"]
+		if tr.HITs >= nt.HITs {
+			t.Errorf("%s: transitive HITs %d not below non-transitive %d", ds, tr.HITs, nt.HITs)
+		}
+		if nt.Quality.F1-tr.Quality.F1 > 0.15 {
+			t.Errorf("%s: F1 loss %.3f too large (NT %.3f vs T %.3f)",
+				ds, nt.Quality.F1-tr.Quality.F1, nt.Quality.F1, tr.Quality.F1)
+		}
+	}
+	// The Paper dataset saves dramatically more than Product.
+	paperSaving := 1 - float64(byKey["Paper/Transitive"].HITs)/float64(byKey["Paper/Non-Transitive"].HITs)
+	productSaving := 1 - float64(byKey["Product/Transitive"].HITs)/float64(byKey["Product/Non-Transitive"].HITs)
+	if paperSaving <= productSaving {
+		t.Errorf("paper HIT saving %.2f should exceed product's %.2f", paperSaving, productSaving)
+	}
+}
+
+func TestRenderingsNonEmpty(t *testing.T) {
+	e := env(t)
+	fig11, err := e.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig12, err := e.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig13, err := e.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig15, err := e.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{
+		"fig11": fig11.String(), "fig12": fig12.String(), "fig13": fig13.String(),
+		"fig15": fig15.String(), "table1": t1.String(), "table2": t2.String(),
+	} {
+		if len(strings.TrimSpace(s)) == 0 {
+			t.Errorf("%s rendering is empty", name)
+		}
+	}
+}
+
+// TestExtBudgetQualityMonotoneIsh: more budget never hurts by more than
+// noise, the full budget attains the best quality, and zero budget is the
+// machine-only floor.
+func TestExtBudgetQualityMonotoneIsh(t *testing.T) {
+	r, err := env(t).ExtBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]ExtBudgetRow{r.Paper, r.Product} {
+		if len(rows) < 3 {
+			t.Fatal("too few budget points")
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		if last.BudgetFrac != 1 {
+			t.Fatalf("last row frac = %v, want 1", last.BudgetFrac)
+		}
+		if last.F1 < first.F1 {
+			t.Errorf("full budget F1 %.3f below zero-budget %.3f", last.F1, first.F1)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].F1 < rows[i-1].F1-0.02 {
+				t.Errorf("F1 dropped from %.3f to %.3f between budget %.2f and %.2f",
+					rows[i-1].F1, rows[i].F1, rows[i-1].BudgetFrac, rows[i].BudgetFrac)
+			}
+		}
+	}
+}
+
+// TestExtOneToOneSavesQuestions: the constraint saves crowd questions on
+// the (mostly one-to-one) Product workload; the quality change stays
+// bounded even though some clusters violate the assumption.
+func TestExtOneToOneSavesQuestions(t *testing.T) {
+	r, err := env(t).ExtOneToOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OneToOneCrowdsourced >= r.PlainCrowdsourced {
+		t.Errorf("one-to-one crowdsourced %d, plain %d; expected savings",
+			r.OneToOneCrowdsourced, r.PlainCrowdsourced)
+	}
+	if r.ConstraintDeduced == 0 {
+		t.Error("constraint never fired on a bipartite join")
+	}
+	if r.PlainF1-r.OneToOneF1 > 0.15 {
+		t.Errorf("quality loss %.3f too large (plain %.3f vs 1:1 %.3f)",
+			r.PlainF1-r.OneToOneF1, r.PlainF1, r.OneToOneF1)
+	}
+	if !strings.Contains(r.String(), "one-to-one") {
+		t.Error("rendering lacks title")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Thresholds = nil
+	if _, err := NewEnv(cfg); err == nil {
+		t.Error("empty thresholds accepted")
+	}
+	cfg = SmallConfig()
+	cfg.Thresholds = []float64{0.05}
+	if _, err := NewEnv(cfg); err == nil {
+		t.Error("threshold below MinThreshold accepted")
+	}
+}

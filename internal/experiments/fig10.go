@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+
+	"crowdjoin/internal/dataset"
+	"crowdjoin/internal/report"
+)
+
+// Fig10Result holds the cluster-size distributions of Figure 10: for each
+// dataset, rows of (cluster size, number of clusters).
+type Fig10Result struct {
+	Paper   [][2]int
+	Product [][2]int
+}
+
+// Fig10 computes the cluster-size distribution of both datasets.
+func (e *Env) Fig10() *Fig10Result {
+	return &Fig10Result{
+		Paper:   dataset.SortedHistogram(e.Paper.Dataset.ClusterSizeHistogram()),
+		Product: dataset.SortedHistogram(e.Product.Dataset.ClusterSizeHistogram()),
+	}
+}
+
+// String renders both histograms.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	for _, part := range []struct {
+		name string
+		rows [][2]int
+	}{{"(a) Paper", r.Paper}, {"(b) Product", r.Product}} {
+		f := report.Figure{
+			Title:  "Figure 10 " + part.name + ": cluster-size distribution",
+			XLabel: "cluster size",
+			YLabel: "number of clusters",
+			Series: []report.Series{{Name: "clusters"}},
+		}
+		for _, row := range part.rows {
+			f.Series[0].X = append(f.Series[0].X, float64(row[0]))
+			f.Series[0].Y = append(f.Series[0].Y, float64(row[1]))
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxClusterSize returns the largest cluster size in rows.
+func MaxClusterSize(rows [][2]int) int {
+	max := 0
+	for _, r := range rows {
+		if r[0] > max {
+			max = r[0]
+		}
+	}
+	return max
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/report"
+)
+
+// Fig11Row is one threshold point of Figure 11.
+type Fig11Row struct {
+	Threshold float64
+	// NonTransitive is the number of crowdsourced pairs without transitive
+	// relations: every candidate pair.
+	NonTransitive int
+	// Transitive is the number of crowdsourced pairs with transitive
+	// relations under the optimal labeling order (the paper labels
+	// Figure 11's Transitive series with the optimal order).
+	Transitive int
+}
+
+// Saving returns the fraction of crowdsourced pairs avoided.
+func (r Fig11Row) Saving() float64 {
+	if r.NonTransitive == 0 {
+		return 0
+	}
+	return 1 - float64(r.Transitive)/float64(r.NonTransitive)
+}
+
+// Fig11Result holds both datasets' sweeps.
+type Fig11Result struct {
+	Paper   []Fig11Row
+	Product []Fig11Row
+}
+
+// Fig11 measures the effectiveness of transitive relations (Section 6.1):
+// for each likelihood threshold, how many pairs must be crowdsourced with
+// and without transitivity.
+func (e *Env) Fig11() (*Fig11Result, error) {
+	res := &Fig11Result{}
+	for _, wl := range e.Workloads() {
+		for _, th := range e.Cfg.Thresholds {
+			pairs := wl.W.Candidates(th)
+			order := core.OptimalOrder(pairs, wl.W.Truth.Matches)
+			n, err := core.CountCrowdsourced(wl.W.Dataset.Len(), order, wl.W.Truth)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s threshold %v: %w", wl.Name, th, err)
+			}
+			row := Fig11Row{Threshold: th, NonTransitive: len(pairs), Transitive: n}
+			if wl.Name == "Paper" {
+				res.Paper = append(res.Paper, row)
+			} else {
+				res.Product = append(res.Product, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the two panels.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	for _, part := range []struct {
+		name string
+		rows []Fig11Row
+	}{{"(a) Paper", r.Paper}, {"(b) Product", r.Product}} {
+		f := report.Figure{
+			Title:  "Figure 11 " + part.name + ": effectiveness of transitive relations",
+			XLabel: "likelihood threshold",
+			YLabel: "# of crowdsourced pairs",
+			Series: []report.Series{{Name: "Transitive"}, {Name: "Non-Transitive"}, {Name: "saving%"}},
+		}
+		for _, row := range part.rows {
+			f.Series[0].X = append(f.Series[0].X, row.Threshold)
+			f.Series[0].Y = append(f.Series[0].Y, float64(row.Transitive))
+			f.Series[1].X = append(f.Series[1].X, row.Threshold)
+			f.Series[1].Y = append(f.Series[1].Y, float64(row.NonTransitive))
+			f.Series[2].X = append(f.Series[2].X, row.Threshold)
+			f.Series[2].Y = append(f.Series[2].Y, 100*row.Saving())
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

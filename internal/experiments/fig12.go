@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/report"
+)
+
+// Fig12Row is one threshold point of Figure 12: the number of crowdsourced
+// pairs for each labeling order.
+type Fig12Row struct {
+	Threshold float64
+	Optimal   int
+	Expected  int
+	Random    float64 // mean over Config.RandomTrials shuffles
+	Worst     int
+}
+
+// Fig12Result holds both datasets' sweeps.
+type Fig12Result struct {
+	Paper   []Fig12Row
+	Product []Fig12Row
+}
+
+// Fig12 compares labeling orders (Section 6.2): optimal (matching first),
+// expected (likelihood descending), random, and worst (non-matching first).
+func (e *Env) Fig12() (*Fig12Result, error) {
+	res := &Fig12Result{}
+	rng := rand.New(rand.NewSource(e.Cfg.Seed))
+	for _, wl := range e.Workloads() {
+		for _, th := range e.Cfg.Thresholds {
+			pairs := wl.W.Candidates(th)
+			n := wl.W.Dataset.Len()
+			count := func(order []core.Pair) (int, error) {
+				return core.CountCrowdsourced(n, order, wl.W.Truth)
+			}
+			row := Fig12Row{Threshold: th}
+			var err error
+			if row.Optimal, err = count(core.OptimalOrder(pairs, wl.W.Truth.Matches)); err != nil {
+				return nil, fmt.Errorf("fig12 optimal: %w", err)
+			}
+			if row.Expected, err = count(core.ExpectedOrder(pairs)); err != nil {
+				return nil, fmt.Errorf("fig12 expected: %w", err)
+			}
+			if row.Worst, err = count(core.WorstOrder(pairs, wl.W.Truth.Matches)); err != nil {
+				return nil, fmt.Errorf("fig12 worst: %w", err)
+			}
+			total := 0
+			for trial := 0; trial < e.Cfg.RandomTrials; trial++ {
+				c, err := count(core.RandomOrder(pairs, rng))
+				if err != nil {
+					return nil, fmt.Errorf("fig12 random: %w", err)
+				}
+				total += c
+			}
+			row.Random = float64(total) / float64(e.Cfg.RandomTrials)
+			if wl.Name == "Paper" {
+				res.Paper = append(res.Paper, row)
+			} else {
+				res.Product = append(res.Product, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the two panels.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	for _, part := range []struct {
+		name string
+		rows []Fig12Row
+	}{{"(a) Paper", r.Paper}, {"(b) Product", r.Product}} {
+		f := report.Figure{
+			Title:  "Figure 12 " + part.name + ": crowdsourced pairs by labeling order",
+			XLabel: "likelihood threshold",
+			YLabel: "# of crowdsourced pairs",
+			Series: []report.Series{
+				{Name: "Optimal"}, {Name: "Expected"}, {Name: "Random"}, {Name: "Worst"},
+			},
+		}
+		for _, row := range part.rows {
+			x := row.Threshold
+			vals := []float64{float64(row.Optimal), float64(row.Expected), row.Random, float64(row.Worst)}
+			for i := range f.Series {
+				f.Series[i].X = append(f.Series[i].X, x)
+				f.Series[i].Y = append(f.Series[i].Y, vals[i])
+			}
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+// Package metrics computes the result-quality measures of Section 6.4:
+// precision, recall and F-measure of a labeled candidate set against ground
+// truth.
+package metrics
+
+import "crowdjoin/internal/core"
+
+// Quality holds the confusion counts and derived measures.
+type Quality struct {
+	// TP counts pairs labeled matching that truly match.
+	TP int
+	// FP counts pairs labeled matching that do not match.
+	FP int
+	// FN counts true matching pairs the labeling missed: labeled
+	// non-matching, left unlabeled, or excluded from the candidate set by
+	// the machine threshold. Measuring recall against all true matches
+	// (not just candidate ones) mirrors the paper's Product numbers, where
+	// the candidate set itself caps recall.
+	FN int
+	// Precision is TP/(TP+FP); 1 when no pair was labeled matching.
+	Precision float64
+	// Recall is TP/(TP+FN); 1 when there are no true matches.
+	Recall float64
+	// F1 is the harmonic mean of precision and recall.
+	F1 float64
+}
+
+// Evaluate scores labels (indexed by Pair.ID) for the candidate set pairs.
+// entity gives the ground-truth entity per object; totalTrueMatches is the
+// number of matching pairs in the full pair universe (see
+// dataset.TrueMatchingPairs).
+func Evaluate(pairs []core.Pair, labels []core.Label, entity []int32, totalTrueMatches int) Quality {
+	var q Quality
+	for _, p := range pairs {
+		if labels[p.ID] != core.Matching {
+			continue
+		}
+		if entity[p.A] == entity[p.B] {
+			q.TP++
+		} else {
+			q.FP++
+		}
+	}
+	q.FN = totalTrueMatches - q.TP
+	if q.FN < 0 {
+		// Duplicate candidate pairs labeled matching can overcount TP;
+		// clamp so derived measures stay in range.
+		q.FN = 0
+	}
+	q.Precision = ratio(q.TP, q.TP+q.FP)
+	q.Recall = ratio(q.TP, q.TP+q.FN)
+	if q.Precision+q.Recall == 0 {
+		q.F1 = 0
+	} else {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

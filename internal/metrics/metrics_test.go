@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"crowdjoin/internal/core"
+)
+
+func pair(id int, a, b int32) core.Pair {
+	return core.Pair{ID: id, A: a, B: b, Likelihood: 0.5}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	entity := []int32{0, 0, 1}
+	pairs := []core.Pair{pair(0, 0, 1), pair(1, 1, 2)}
+	labels := []core.Label{core.Matching, core.NonMatching}
+	q := Evaluate(pairs, labels, entity, 1)
+	if q.TP != 1 || q.FP != 0 || q.FN != 0 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d, want 1/0/0", q.TP, q.FP, q.FN)
+	}
+	if q.Precision != 1 || q.Recall != 1 || q.F1 != 1 {
+		t.Fatalf("P/R/F1 = %v/%v/%v, want 1/1/1", q.Precision, q.Recall, q.F1)
+	}
+}
+
+func TestEvaluateFalsePositive(t *testing.T) {
+	entity := []int32{0, 1}
+	pairs := []core.Pair{pair(0, 0, 1)}
+	labels := []core.Label{core.Matching}
+	q := Evaluate(pairs, labels, entity, 0)
+	if q.FP != 1 || q.TP != 0 {
+		t.Fatalf("TP/FP = %d/%d, want 0/1", q.TP, q.FP)
+	}
+	if q.Precision != 0 {
+		t.Errorf("precision = %v, want 0", q.Precision)
+	}
+	if q.Recall != 1 {
+		t.Errorf("recall with no true matches = %v, want 1", q.Recall)
+	}
+	if q.F1 != 0 {
+		t.Errorf("F1 = %v, want 0", q.F1)
+	}
+}
+
+func TestEvaluateMissedByThreshold(t *testing.T) {
+	// Two true matches exist in the universe but only one is a candidate:
+	// recall is capped at 1/2 even with perfect labels.
+	entity := []int32{0, 0, 1, 1}
+	pairs := []core.Pair{pair(0, 0, 1)}
+	labels := []core.Label{core.Matching}
+	q := Evaluate(pairs, labels, entity, 2)
+	if q.FN != 1 {
+		t.Fatalf("FN = %d, want 1", q.FN)
+	}
+	if math.Abs(q.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %v, want 0.5", q.Recall)
+	}
+	if math.Abs(q.F1-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v, want 2/3", q.F1)
+	}
+}
+
+func TestEvaluateWrongNonMatchingLabel(t *testing.T) {
+	entity := []int32{0, 0}
+	pairs := []core.Pair{pair(0, 0, 1)}
+	labels := []core.Label{core.NonMatching}
+	q := Evaluate(pairs, labels, entity, 1)
+	if q.TP != 0 || q.FN != 1 {
+		t.Fatalf("TP/FN = %d/%d, want 0/1", q.TP, q.FN)
+	}
+	if q.Recall != 0 {
+		t.Errorf("recall = %v, want 0", q.Recall)
+	}
+}
+
+func TestEvaluateUnlabeledNotCountedMatching(t *testing.T) {
+	entity := []int32{0, 0}
+	pairs := []core.Pair{pair(0, 0, 1)}
+	labels := []core.Label{core.Unlabeled}
+	q := Evaluate(pairs, labels, entity, 1)
+	if q.TP != 0 || q.FP != 0 || q.FN != 1 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d, want 0/0/1", q.TP, q.FP, q.FN)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	q := Evaluate(nil, nil, nil, 0)
+	if q.Precision != 1 || q.Recall != 1 || q.F1 != 1 {
+		t.Fatalf("empty evaluation P/R/F1 = %v/%v/%v, want 1/1/1", q.Precision, q.Recall, q.F1)
+	}
+}
+
+func TestEvaluateClampsNegativeFN(t *testing.T) {
+	// Duplicate candidates can double-count TP beyond the universe total.
+	entity := []int32{0, 0}
+	pairs := []core.Pair{pair(0, 0, 1), pair(1, 0, 1)}
+	labels := []core.Label{core.Matching, core.Matching}
+	q := Evaluate(pairs, labels, entity, 1)
+	if q.FN != 0 {
+		t.Fatalf("FN = %d, want clamped 0", q.FN)
+	}
+	if q.Recall != 1 {
+		t.Errorf("recall = %v, want 1", q.Recall)
+	}
+}

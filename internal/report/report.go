@@ -1,0 +1,153 @@
+// Package report renders experiment results as aligned text tables and
+// (x, y) series, mirroring the tables and figures of the paper's evaluation
+// section in terminal-friendly form.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	return s
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named (x, y) sequence of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series sharing axes, rendered as a column-per-series
+// table keyed by x.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as a table with one row per distinct x value.
+func (f *Figure) Render(w io.Writer) {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	t := Table{Title: fmt.Sprintf("%s  (y = %s)", f.Title, f.YLabel)}
+	t.Headers = append(t.Headers, f.XLabel)
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Render(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Table X",
+		Headers: []string{"name", "count"},
+	}
+	tbl.AddRow("alpha", 3)
+	tbl.AddRow("b", 12345)
+	out := tbl.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12345") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Alignment: all data lines equal width or less than header width rules;
+	// check separator covers the widest cell.
+	if !strings.Contains(out, "-----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := Table{Headers: []string{"v"}}
+	tbl.AddRow(0.12345)
+	if !strings.Contains(tbl.String(), "0.12") {
+		t.Errorf("float not formatted to 2 decimals:\n%s", tbl.String())
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:  "Figure Y",
+		XLabel: "threshold",
+		YLabel: "pairs",
+		Series: []Series{
+			{Name: "a", X: []float64{0.1, 0.3}, Y: []float64{100, 50}},
+			{Name: "b", X: []float64{0.3}, Y: []float64{70}},
+		},
+	}
+	out := f.String()
+	if !strings.Contains(out, "Figure Y") || !strings.Contains(out, "threshold") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	// Row for x=0.1 has an empty cell for series b; row for 0.3 has both.
+	if !strings.Contains(out, "0.1") || !strings.Contains(out, "0.3") {
+		t.Errorf("missing x values:\n%s", out)
+	}
+	if !strings.Contains(out, "70") || !strings.Contains(out, "100") {
+		t.Errorf("missing y values:\n%s", out)
+	}
+	// x values must be sorted ascending in output.
+	if strings.Index(out, "0.1") > strings.Index(out, "0.3") {
+		t.Errorf("x values not sorted:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Errorf("trimFloat(5) = %q", trimFloat(5))
+	}
+	if trimFloat(0.25) != "0.25" {
+		t.Errorf("trimFloat(0.25) = %q", trimFloat(0.25))
+	}
+}

@@ -1,0 +1,269 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"iPad 2nd Gen", []string{"ipad", "2nd", "gen"}},
+		{"  a--b  c ", []string{"a", "b", "c"}},
+		{"", nil},
+		{"!!!", nil},
+		{"Wang, J. & Li, G.", []string{"wang", "j", "li", "g"}},
+		{"SIGMOD'13", []string{"sigmod", "13"}},
+	}
+	for _, tc := range cases {
+		got := Tokenize(tc.in)
+		if strings.Join(got, "|") != strings.Join(tc.want, "|") {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenSetDeduplicates(t *testing.T) {
+	got := TokenSet("the cat and the hat")
+	want := []string{"the", "cat", "and", "hat"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("TokenSet = %v, want %v", got, want)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 2)
+	want := []string{"#a", "ab", "b#"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("QGrams(ab,2) = %v, want %v", got, want)
+	}
+	if QGrams("", 3) != nil {
+		t.Error("QGrams of empty string should be nil")
+	}
+}
+
+func TestQGramsPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QGrams(s, 0) did not panic")
+		}
+	}()
+	QGrams("abc", 0)
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a"}, []string{"a"}, 1},
+		{[]string{"a"}, []string{"b"}, 0},
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "a", "b"}, []string{"a", "b", "b"}, 1}, // set semantics
+	}
+	for _, tc := range cases {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDiceAndOverlap(t *testing.T) {
+	a, b := []string{"x", "y"}, []string{"y", "z", "w"}
+	if got, want := Dice(a, b), 2.0/5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Dice = %v, want %v", got, want)
+	}
+	if got, want := Overlap(a, b), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Overlap = %v, want %v", got, want)
+	}
+	if got := Overlap(nil, nil); got != 1 {
+		t.Errorf("Overlap(∅,∅) = %v, want 1", got)
+	}
+	if got := Overlap(a, nil); got != 0 {
+		t.Errorf("Overlap(a,∅) = %v, want 0", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"iPad 2", "iPad 3", 1},
+		{"日本語", "日本", 1}, // rune-wise, not byte-wise
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if got := NormalizedLevenshtein("", ""); got != 1 {
+		t.Errorf("NormalizedLevenshtein(∅,∅) = %v, want 1", got)
+	}
+	if got, want := NormalizedLevenshtein("kitten", "sitting"), 1-3.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalizedLevenshtein = %v, want %v", got, want)
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	// Classic reference values (to 3 decimals).
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961},
+		{"DIXON", "DICKSONX", 0.813},
+		{"", "", 1},
+		{"A", "", 0},
+	}
+	for _, tc := range cases {
+		if got := JaroWinkler(tc.a, tc.b); math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("JaroWinkler(%q,%q) = %.4f, want %.3f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCorpusIDFOrdersRareAboveCommon(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 100; i++ {
+		doc := []string{"common"}
+		if i == 0 {
+			doc = append(doc, "rare")
+		}
+		c.Add(doc)
+	}
+	if c.IDF("rare") <= c.IDF("common") {
+		t.Errorf("IDF(rare)=%v should exceed IDF(common)=%v", c.IDF("rare"), c.IDF("common"))
+	}
+	if c.IDF("unseen") < c.IDF("rare") {
+		t.Errorf("unseen tokens should weigh at least as much as the rarest seen")
+	}
+}
+
+func TestWeightedJaccardFavoursRareOverlap(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 50; i++ {
+		c.Add([]string{"the", "of"})
+	}
+	c.Add([]string{"zx81"})
+	// Sharing a rare token should beat sharing a common one.
+	rare := c.WeightedJaccard([]string{"zx81", "the"}, []string{"zx81", "of"})
+	common := c.WeightedJaccard([]string{"the", "zx81"}, []string{"the", "spectrum"})
+	if rare <= common {
+		t.Errorf("rare-overlap %v should exceed common-overlap %v", rare, common)
+	}
+}
+
+func TestCosineBasics(t *testing.T) {
+	c := NewCorpus()
+	c.Add([]string{"a", "b"})
+	c.Add([]string{"b", "c"})
+	if got := c.Cosine([]string{"a", "b"}, []string{"a", "b"}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine(x,x) = %v, want 1", got)
+	}
+	if got := c.Cosine([]string{"a"}, []string{"c"}); got != 0 {
+		t.Errorf("Cosine(disjoint) = %v, want 0", got)
+	}
+	if got := c.Cosine(nil, nil); got != 1 {
+		t.Errorf("Cosine(∅,∅) = %v, want 1", got)
+	}
+	if got := c.Cosine([]string{"a"}, nil); got != 0 {
+		t.Errorf("Cosine(a,∅) = %v, want 0", got)
+	}
+}
+
+func randTokens(rng *rand.Rand) []string {
+	n := rng.Intn(8)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + rng.Intn(6)))
+	}
+	return out
+}
+
+func randString(rng *rand.Rand) string {
+	n := rng.Intn(10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return string(b)
+}
+
+// TestQuickSimilarityProperties: symmetry, range, and identity for the set
+// similarities and edit similarities.
+func TestQuickSimilarityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randTokens(rng), randTokens(rng)
+		for _, fn := range []func(x, y []string) float64{Jaccard, Dice, Overlap} {
+			s1, s2 := fn(a, b), fn(b, a)
+			if s1 != s2 || s1 < 0 || s1 > 1 {
+				return false
+			}
+			if fn(a, a) != 1 {
+				return false
+			}
+		}
+		x, y := randString(rng), randString(rng)
+		for _, fn := range []func(p, q string) float64{NormalizedLevenshtein, Jaro, JaroWinkler} {
+			s1, s2 := fn(x, y), fn(y, x)
+			if math.Abs(s1-s2) > 1e-12 || s1 < 0 || s1 > 1+1e-12 {
+				return false
+			}
+			if fn(x, x) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLevenshteinTriangle: edit distance satisfies the triangle
+// inequality and symmetry.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randString(rng), randString(rng), randString(rng)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		return Levenshtein(a, c) <= dab+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	x := Tokenize("efficient entity resolution with crowdsourced transitive relations sigmod")
+	y := Tokenize("crowdsourced entity resolution leveraging transitive relations for joins")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("leveraging transitive relations", "leveraging transitive realtions")
+	}
+}

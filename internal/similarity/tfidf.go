@@ -1,0 +1,94 @@
+package similarity
+
+import "math"
+
+// Corpus accumulates document frequencies so that token weights can reflect
+// how discriminative a token is: rare tokens (model numbers, surnames) weigh
+// more than ubiquitous ones ("the", "proceedings", "black").
+type Corpus struct {
+	df   map[string]int
+	docs int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// Add registers one document's distinct tokens.
+func (c *Corpus) Add(tokens []string) {
+	c.docs++
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		c.df[t]++
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of token:
+// ln(1 + N/(1+df)). Unknown tokens get the maximum weight.
+func (c *Corpus) IDF(token string) float64 {
+	return math.Log(1 + float64(c.docs)/float64(1+c.df[token]))
+}
+
+// WeightedJaccard returns Σ_{t∈A∩B} idf(t) / Σ_{t∈A∪B} idf(t) over the
+// distinct tokens of a and b. Two empty inputs score 1.
+func (c *Corpus) WeightedJaccard(a, b []string) float64 {
+	sa, sb := distinct(a), distinct(b)
+	var inter, union float64
+	for t := range sa {
+		w := c.IDF(t)
+		union += w
+		if _, ok := sb[t]; ok {
+			inter += w
+		}
+	}
+	for t := range sb {
+		if _, ok := sa[t]; !ok {
+			union += c.IDF(t)
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return inter / union
+}
+
+// Cosine returns the TF-IDF cosine similarity of the two token bags.
+func (c *Corpus) Cosine(a, b []string) float64 {
+	va, vb := c.vector(a), c.vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 1
+	}
+	var dot, na, nb float64
+	for t, wa := range va {
+		na += wa * wa
+		if wb, ok := vb[t]; ok {
+			dot += wa * wb
+		}
+	}
+	for _, wb := range vb {
+		nb += wb * wb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func (c *Corpus) vector(tokens []string) map[string]float64 {
+	tf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for t, f := range tf {
+		tf[t] = (1 + math.Log(f)) * c.IDF(t)
+	}
+	return tf
+}

@@ -1,0 +1,129 @@
+// Package unionfind implements a disjoint-set forest with union by size and
+// path halving, the substrate the paper's ClusterGraph uses to merge matching
+// objects into clusters (Tarjan, J. ACM 1975; cited as [20] in the paper).
+//
+// All operations are amortized near-constant (inverse Ackermann). The zero
+// value is not usable; construct with New.
+package unionfind
+
+import "fmt"
+
+// UF is a disjoint-set forest over the dense universe [0, n).
+type UF struct {
+	parent []int32
+	size   []int32 // size[r] is the cluster size; meaningful only for roots
+	sets   int     // current number of disjoint sets
+}
+
+// New returns a forest of n singleton sets labeled 0..n-1.
+func New(n int) *UF {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	u := &UF{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Len returns the size of the universe.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Find returns the canonical representative of x's set, applying path
+// halving as it walks to the root.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// SizeOf returns the number of elements in x's set.
+func (u *UF) SizeOf(x int32) int32 { return u.size[u.Find(x)] }
+
+// Union merges the sets of x and y. It returns the surviving root, the root
+// that was absorbed, and whether a merge happened (false when x and y were
+// already in the same set, in which case absorbed == root).
+//
+// Union by size: the larger set's root survives, keeping trees shallow.
+func (u *UF) Union(x, y int32) (root, absorbed int32, merged bool) {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx, rx, false
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	u.sets--
+	return rx, ry, true
+}
+
+// Clone returns an independent deep copy of the forest.
+func (u *UF) Clone() *UF {
+	c := &UF{
+		parent: make([]int32, len(u.parent)),
+		size:   make([]int32, len(u.size)),
+		sets:   u.sets,
+	}
+	copy(c.parent, u.parent)
+	copy(c.size, u.size)
+	return c
+}
+
+// CloneInto copies u's state into dst, which must have the same universe
+// size; dst's allocations are reused.
+func (u *UF) CloneInto(dst *UF) {
+	if len(dst.parent) != len(u.parent) {
+		panic("unionfind: CloneInto size mismatch")
+	}
+	copy(dst.parent, u.parent)
+	copy(dst.size, u.size)
+	dst.sets = u.sets
+}
+
+// Reset restores the forest to n singleton sets without reallocating.
+func (u *UF) Reset() {
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	u.sets = len(u.parent)
+}
+
+// Clusters groups the universe by set and returns each set's members.
+// Members appear in increasing order; cluster order is by smallest member.
+// Intended for tests and reporting, not hot paths.
+func (u *UF) Clusters() [][]int32 {
+	byRoot := make(map[int32][]int32)
+	for i := range u.parent {
+		r := u.Find(int32(i))
+		byRoot[r] = append(byRoot[r], int32(i))
+	}
+	out := make([][]int32, 0, len(byRoot))
+	for _, members := range byRoot {
+		out = append(out, members)
+	}
+	// Deterministic order: by first (smallest) member. Members are already
+	// ascending because we appended in index order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

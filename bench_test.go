@@ -369,6 +369,7 @@ func BenchmarkSequentialLabeling(b *testing.B) {
 	e := benchEnv(b)
 	pairs := e.Paper.Candidates(0.3)
 	order := core.ExpectedOrder(pairs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.LabelSequential(e.Paper.Dataset.Len(), order, e.Paper.Truth); err != nil {
@@ -382,6 +383,7 @@ func BenchmarkParallelLabeling(b *testing.B) {
 	e := benchEnv(b)
 	pairs := e.Paper.Candidates(0.3)
 	order := core.ExpectedOrder(pairs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.LabelParallel(e.Paper.Dataset.Len(), order, core.Batched(e.Paper.Truth)); err != nil {
@@ -395,6 +397,7 @@ func BenchmarkCrowdsourceablePairs(b *testing.B) {
 	pairs := e.Paper.Candidates(0.3)
 	order := core.ExpectedOrder(pairs)
 	labels := make([]core.Label, len(order))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.CrowdsourceablePairs(e.Paper.Dataset.Len(), order, labels); err != nil {
@@ -428,4 +431,143 @@ func benchName(prefix string, v int) string {
 		v /= 10
 	}
 	return prefix + "=" + string(buf[i:])
+}
+
+// --- Deduction-core and world-enumeration micro-benchmarks --------------
+//
+// These pin the perf contract of the allocation-free ClusterGraph core:
+// Deduce/Insert at 0 allocs/op in steady state, snapshot/rollback cheap
+// enough to run per world, and the expected-cost engine's DFS enumeration.
+// scripts/bench.sh captures them (with the labeling benchmarks above) in
+// BENCH_core.json so future PRs can track the trajectory.
+
+// worldPairs builds a k-pair candidate set over a small object universe,
+// the regime Section 4.2's exact expected-cost engine targets.
+func worldPairs(k int) (int, []core.Pair) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	pairs := make([]core.Pair, 0, k)
+	for i := 0; i < k; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		for a == b {
+			b = int32(rng.Intn(n))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, core.Pair{ID: i, A: a, B: b, Likelihood: 0.2 + 0.6*rng.Float64()})
+	}
+	return n, pairs
+}
+
+func BenchmarkWorldEnumeration(b *testing.B) {
+	for _, k := range []int{12, 16} {
+		n, pairs := worldPairs(k)
+		b.Run(benchName("k", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ConsistentWorlds(n, pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExpectedOptimalOrder(b *testing.B) {
+	n, pairs := worldPairs(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.BruteForceExpectedOptimal(n, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// deductionWorkload builds a labeled-pair stream and query set over a
+// ground-truth partition.
+func deductionWorkload(n, streamLen, queries int) ([]clustergraph.LabeledPair, [][2]int32) {
+	rng := rand.New(rand.NewSource(13))
+	entity := make([]int32, n)
+	for i := range entity {
+		entity[i] = int32(rng.Intn(n / 8))
+	}
+	stream := make([]clustergraph.LabeledPair, 0, streamLen)
+	for len(stream) < streamLen {
+		a, c := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == c {
+			continue
+		}
+		stream = append(stream, clustergraph.LabeledPair{A: a, B: c, Matching: entity[a] == entity[c]})
+	}
+	qs := make([][2]int32, queries)
+	for i := range qs {
+		qs[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return stream, qs
+}
+
+// BenchmarkClusterGraphDeduce measures the pure deduction hot path on a
+// populated graph: 0 allocs/op.
+func BenchmarkClusterGraphDeduce(b *testing.B) {
+	const n = 4096
+	stream, queries := deductionWorkload(n, 3*n, 1024)
+	g := clustergraph.New(n)
+	for _, lp := range stream {
+		g.ForceInsert(lp.A, lp.B, lp.Matching)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i&(len(queries)-1)]
+		_ = g.Deduce(q[0], q[1])
+	}
+}
+
+// BenchmarkClusterGraphInsert measures a full Reset+rebuild of the graph
+// from a labeled stream; after the first warm-up rebuild, the slices and
+// bitset rows are all reused, so steady state is 0 allocs/op.
+func BenchmarkClusterGraphInsert(b *testing.B) {
+	const n = 4096
+	stream, _ := deductionWorkload(n, 3*n, 1)
+	g := clustergraph.New(n)
+	for _, lp := range stream {
+		g.ForceInsert(lp.A, lp.B, lp.Matching) // warm capacity
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		for _, lp := range stream {
+			g.ForceInsert(lp.A, lp.B, lp.Matching)
+		}
+	}
+	b.ReportMetric(float64(len(stream)), "inserts/op")
+}
+
+// BenchmarkClusterGraphSnapshotRollback measures the world-enumeration
+// inner step: snapshot, a few inserts, rollback. Steady state allocates
+// nothing — the journal's capacity is retained across rollbacks.
+func BenchmarkClusterGraphSnapshotRollback(b *testing.B) {
+	const n = 256
+	stream, _ := deductionWorkload(n, n, 1)
+	g := clustergraph.New(n)
+	for _, lp := range stream {
+		g.ForceInsert(lp.A, lp.B, lp.Matching)
+	}
+	probe := []clustergraph.LabeledPair{
+		{A: 0, B: 100, Matching: true},
+		{A: 1, B: 101, Matching: true},
+		{A: 0, B: 1, Matching: false},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := g.Snapshot()
+		for _, lp := range probe {
+			g.ForceInsert(lp.A, lp.B, lp.Matching)
+		}
+		g.Rollback(m)
+	}
 }

@@ -32,6 +32,26 @@
 // the moment an answer makes new pairs mandatory; NewSimulatedCrowd and
 // NewAMTSimulator provide in-memory platforms for testing and simulation.
 //
+// # Deduction engine
+//
+// Every labeler funnels through internal/clustergraph.Graph, which must be
+// cheap enough to consult after every crowd answer. Its storage is
+// allocation-free on the hot path: non-matching edges live in compact
+// per-cluster edge sets (unsorted []int32 below a degree threshold,
+// bitset rows above it) merged small-into-large through one level of
+// indirection, so Deduce/Insert/ForceInsert run at 0 allocs/op in steady
+// state. The graph also supports Snapshot/Rollback backed by an undo
+// journal (over a rollback union-find whose path halvings are journaled
+// too), which turns the exact expected-cost engine's world enumeration
+// (ConsistentWorlds, Section 4.2) into a depth-first walk costing one
+// insert+rollback per labeling-tree edge — amortized O(2^k) instead of
+// O(k·2^k) full rebuilds. The parallel labeler's rounds are incremental:
+// a persistent base graph permanently absorbs the labeled prefix of the
+// order, so each round replays only the still-active window.
+//
+// scripts/bench.sh snapshots the perf-critical benchmarks into
+// BENCH_core.json; see ROADMAP.md for the current measured baseline.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
 package crowdjoin

@@ -1,0 +1,3 @@
+module crowdjoin
+
+go 1.24

@@ -9,8 +9,10 @@
 package candgen
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"crowdjoin/internal/core"
@@ -56,7 +58,9 @@ func NewScorer(d *dataset.Dataset, w Weighting) *Scorer {
 			}
 			ids = append(ids, id)
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		// Token ids are assigned in first-seen order, so they are not
+		// guaranteed sorted; the merge-based similarity needs them sorted.
+		slices.Sort(ids)
 		s.tokens[i] = ids
 		for _, id := range ids {
 			df[id]++
@@ -222,8 +226,8 @@ func buildIndex(s *Scorer, ids []int32) [][]int32 {
 			add(r)
 		}
 	} else {
-		sorted := append([]int32(nil), ids...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		sorted := slices.Clone(ids)
+		slices.Sort(sorted)
 		for _, r := range sorted {
 			add(r)
 		}
@@ -234,14 +238,14 @@ func buildIndex(s *Scorer, ids []int32) [][]int32 {
 // SortByLikelihood sorts pairs by likelihood descending, breaking ties by
 // object ids for determinism.
 func SortByLikelihood(pairs []core.Pair) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].Likelihood != pairs[j].Likelihood {
-			return pairs[i].Likelihood > pairs[j].Likelihood
+	slices.SortFunc(pairs, func(a, b core.Pair) int {
+		if c := cmp.Compare(b.Likelihood, a.Likelihood); c != 0 {
+			return c
 		}
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+		if c := cmp.Compare(a.A, b.A); c != 0 {
+			return c
 		}
-		return pairs[i].B < pairs[j].B
+		return cmp.Compare(a.B, b.B)
 	})
 }
 

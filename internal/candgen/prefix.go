@@ -1,9 +1,10 @@
 package candgen
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"crowdjoin/internal/core"
 	"crowdjoin/internal/dataset"
@@ -40,12 +41,11 @@ func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]co
 	for i := range byRarity {
 		byRarity[i] = int32(i)
 	}
-	sort.Slice(byRarity, func(i, j int) bool {
-		a, b := byRarity[i], byRarity[j]
-		if df[a] != df[b] {
-			return df[a] < df[b]
+	slices.SortFunc(byRarity, func(a, b int32) int {
+		if c := cmp.Compare(df[a], df[b]); c != 0 {
+			return c
 		}
-		return a < b
+		return cmp.Compare(a, b)
 	})
 	for pos, id := range byRarity {
 		rank[id] = int32(pos)
@@ -57,8 +57,8 @@ func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]co
 		if len(ids) == 0 {
 			continue
 		}
-		sorted := append([]int32(nil), ids...)
-		sort.Slice(sorted, func(i, j int) bool { return rank[sorted[i]] < rank[sorted[j]] })
+		sorted := slices.Clone(ids)
+		slices.SortFunc(sorted, func(a, b int32) int { return cmp.Compare(rank[a], rank[b]) })
 		plen := len(ids) - int(math.Ceil(minThreshold*float64(len(ids)))) + 1
 		if plen < 1 {
 			plen = 1
@@ -140,8 +140,8 @@ func buildPrefixIndex(prefixes [][]int32, numTokens int, ids []int32) [][]int32 
 			add(r)
 		}
 	} else {
-		sorted := append([]int32(nil), ids...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		sorted := slices.Clone(ids)
+		slices.Sort(sorted)
 		for _, r := range sorted {
 			add(r)
 		}

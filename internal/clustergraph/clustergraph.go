@@ -7,11 +7,38 @@
 // cluster, deducible as non-matching iff their clusters are joined by an
 // edge, and undeducible otherwise (every path between them would need more
 // than one non-matching pair).
+//
+// # Storage layout
+//
+// Non-matching edges live in compact []int32 edge sets rather than a map
+// of maps, so the hot path (Deduce, Insert, ForceInsert) allocates nothing
+// in steady state. Small sets are unsorted slices (linear membership scan,
+// O(1) append, swap-delete — at most escalateDeg elements, so a couple of
+// cache lines); a set whose degree crosses escalateDeg graduates to a
+// bitset row with O(1) membership, link, and unlink. Each cluster owns one
+// edge set, addressed through a level of indirection (eset maps a cluster
+// root to its edge-set id) so that a merge can keep the larger of the two
+// sets and drain the smaller into it — true small-into-large —
+// independently of which union-find root survives.
+//
+// # Rollback
+//
+// Snapshot/Rollback support backtracking search (the expected-cost world
+// enumeration of Section 4.2): every structural change after a Snapshot is
+// recorded in an undo journal, and Rollback replays it backwards. The
+// underlying union-find switches to its no-path-compression rollback
+// variant at the first Snapshot; Reset switches back.
+//
+// BruteForceDeduce (bruteforce.go) remains the correctness reference; the
+// differential tests drive both through randomized insert/snapshot/rollback
+// sequences and compare verdicts and counts.
 package clustergraph
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 
 	"crowdjoin/internal/unionfind"
 )
@@ -47,23 +74,74 @@ func (v Verdict) String() string {
 	}
 }
 
+// journal op kinds; the inverse op is applied on Rollback.
+const (
+	opLink   uint8 = iota // edge (a,b) was added → unlink it
+	opUnlink              // edge (a,b) was removed → relink it
+	opUnion               // a union was performed → undo it
+	opESet                // eset[a] was overwritten → restore b
+)
+
+type gop struct {
+	kind uint8
+	a, b int32
+}
+
+// escalateDeg is the degree at which an edge set graduates from an
+// unsorted slice to a bitset row: beyond it, the O(degree) membership
+// scans and swap-deletes cost more than the row's (n+63)/64 words. Dense
+// cluster graphs — late-stage scans where most clusters are pairwise
+// non-matching — spend nearly all their edge traffic on such sets, and
+// the bitset makes membership, link, unlink, and rollback O(1) there.
+const escalateDeg = 16
+
 // Graph is the ClusterGraph over a dense universe of n objects.
 // The zero value is not usable; construct with New.
 type Graph struct {
 	uf *unionfind.UF
-	// adj[r] is the set of cluster roots joined to root r by a
-	// non-matching edge. Symmetric: b ∈ adj[a] ⇔ a ∈ adj[b].
-	adj   map[int32]map[int32]struct{}
+	// eset[r] is the id of the edge set owned by the cluster rooted at r;
+	// ids are drawn from the object universe (initially eset[i] = i) and
+	// only entries for current roots are meaningful.
+	eset []int32
+	// deg[s] is the number of edge sets adjacent to set s.
+	deg []int32
+	// adj[s] holds the edge-set ids joined to set s by a non-matching
+	// edge (unsorted), for sets below escalateDeg. Symmetric:
+	// b ∈ adj[a] ⇔ a ∈ adj[b] (in b's own representation).
+	adj [][]int32
+	// bits[s] is non-nil once s escalates: bit ns is set iff edge (s, ns)
+	// exists. Escalated sets stay escalated until Reset (hysteresis).
+	bits  [][]uint64
+	words int // words per bitset row: (n+63)/64
 	edges int // number of distinct non-matching cluster edges
+	// dirty lists every set id whose edge set became non-empty (possibly
+	// with duplicates), so Reset and CloneInto touch only populated sets
+	// instead of walking the whole universe.
+	dirty []int32
+	// rowPool recycles bitset rows shed by CloneInto and Reset.
+	rowPool [][]uint64
+
+	// journaling is enabled by the first Snapshot and cleared by Reset;
+	// while on, every structural change appends its inverse to journal.
+	journaling bool
+	journal    []gop
 }
 
 // New returns an empty ClusterGraph over objects 0..n-1: every object is a
 // singleton cluster and there are no non-matching edges.
 func New(n int) *Graph {
-	return &Graph{
-		uf:  unionfind.New(n),
-		adj: make(map[int32]map[int32]struct{}),
+	g := &Graph{
+		uf:    unionfind.New(n),
+		eset:  make([]int32, n),
+		deg:   make([]int32, n),
+		adj:   make([][]int32, n),
+		bits:  make([][]uint64, n),
+		words: (n + 63) / 64,
 	}
+	for i := range g.eset {
+		g.eset[i] = int32(i)
+	}
+	return g
 }
 
 // Len returns the size of the object universe.
@@ -83,6 +161,25 @@ func (g *Graph) SameCluster(a, b int32) bool { return g.uf.Same(a, b) }
 // stable only until the next merge involving the cluster.
 func (g *Graph) Root(a int32) int32 { return g.uf.Find(a) }
 
+// hasEdgeSets reports whether edge sets sa and sb are joined. Small sets
+// are unsorted slices scanned linearly — at most escalateDeg elements, a
+// couple of cache lines with no mispredicted halving branches — and large
+// sets answer with one bit test.
+func (g *Graph) hasEdgeSets(sa, sb int32) bool {
+	if row := g.bits[sa]; row != nil {
+		return row[uint32(sb)>>6]&(1<<(uint32(sb)&63)) != 0
+	}
+	if row := g.bits[sb]; row != nil {
+		return row[uint32(sa)>>6]&(1<<(uint32(sa)&63)) != 0
+	}
+	for _, x := range g.adj[sa] {
+		if x == sb {
+			return true
+		}
+	}
+	return false
+}
+
 // HasEdge reports whether the clusters of a and b are joined by a
 // non-matching edge. HasEdge(a, b) is false when SameCluster(a, b).
 func (g *Graph) HasEdge(a, b int32) bool {
@@ -90,8 +187,7 @@ func (g *Graph) HasEdge(a, b int32) bool {
 	if ra == rb {
 		return false
 	}
-	_, ok := g.adj[ra][rb]
-	return ok
+	return g.hasEdgeSets(g.eset[ra], g.eset[rb])
 }
 
 // Deduce applies Lemma 1 to the pair (a, b).
@@ -100,14 +196,173 @@ func (g *Graph) Deduce(a, b int32) Verdict {
 	if ra == rb {
 		return DeducedMatching
 	}
-	if _, ok := g.adj[ra][rb]; ok {
+	if g.hasEdgeSets(g.eset[ra], g.eset[rb]) {
 		return DeducedNonMatching
 	}
 	return Undeduced
 }
 
+// RootsInto writes the current root of every object into roots, which must
+// have length Len(). Batch deduction loops that probe many pairs between
+// mutations can resolve roots with two array loads per pair instead of
+// two pointer-chasing Find calls; the snapshot is valid until the next
+// mutating operation.
+func (g *Graph) RootsInto(roots []int32) {
+	if len(roots) != g.Len() {
+		panic("clustergraph: RootsInto size mismatch")
+	}
+	for i := range roots {
+		roots[i] = g.uf.Find(int32(i))
+	}
+}
+
+// DeduceRoots applies Lemma 1 to a pair whose current cluster roots are
+// already known (e.g. via RootsInto).
+func (g *Graph) DeduceRoots(ra, rb int32) Verdict {
+	if ra == rb {
+		return DeducedMatching
+	}
+	if g.hasEdgeSets(g.eset[ra], g.eset[rb]) {
+		return DeducedNonMatching
+	}
+	return Undeduced
+}
+
+// escalate converts set s from a slice to a bitset row.
+func (g *Graph) escalate(s int32) {
+	row := g.newRow()
+	for _, v := range g.adj[s] {
+		row[uint32(v)>>6] |= 1 << (uint32(v) & 63)
+	}
+	g.bits[s] = row
+	g.adj[s] = g.adj[s][:0]
+}
+
+// newRow returns a zeroed bitset row, recycling pooled ones.
+func (g *Graph) newRow() []uint64 {
+	if n := len(g.rowPool); n > 0 {
+		row := g.rowPool[n-1]
+		g.rowPool = g.rowPool[:n-1]
+		return row
+	}
+	return make([]uint64, g.words)
+}
+
+// addHalf records v in s's edge set; callers guarantee v is absent.
+func (g *Graph) addHalf(s, v int32) {
+	if row := g.bits[s]; row != nil {
+		row[uint32(v)>>6] |= 1 << (uint32(v) & 63)
+	} else {
+		if g.deg[s] == 0 {
+			g.dirty = append(g.dirty, s)
+		}
+		g.adj[s] = append(g.adj[s], v)
+		if len(g.adj[s]) > escalateDeg {
+			g.escalate(s)
+		}
+	}
+	g.deg[s]++
+}
+
+// delHalf removes v from s's edge set (swap-delete; sets are unsorted).
+func (g *Graph) delHalf(s, v int32) {
+	if row := g.bits[s]; row != nil {
+		row[uint32(v)>>6] &^= 1 << (uint32(v) & 63)
+	} else {
+		a := g.adj[s]
+		for i, x := range a {
+			if x == v {
+				a[i] = a[len(a)-1]
+				g.adj[s] = a[:len(a)-1]
+				g.deg[s]--
+				return
+			}
+		}
+		panic("clustergraph: removing absent edge")
+	}
+	g.deg[s]--
+}
+
+// rawLink and rawUnlink mutate the symmetric edge (sa, sb) without
+// journaling; link/unlink wrap them, and Rollback applies them directly
+// as the inverses of journaled ops.
+func (g *Graph) rawLink(sa, sb int32) {
+	g.addHalf(sa, sb)
+	g.addHalf(sb, sa)
+	g.edges++
+}
+
+func (g *Graph) rawUnlink(sa, sb int32) {
+	g.delHalf(sa, sb)
+	g.delHalf(sb, sa)
+	g.edges--
+}
+
+// link adds the edge (sa, sb) between two edge sets.
+func (g *Graph) link(sa, sb int32) {
+	g.rawLink(sa, sb)
+	if g.journaling {
+		g.journal = append(g.journal, gop{opLink, sa, sb})
+	}
+}
+
+// unlink removes the edge (sa, sb) between two edge sets.
+func (g *Graph) unlink(sa, sb int32) {
+	g.rawUnlink(sa, sb)
+	if g.journaling {
+		g.journal = append(g.journal, gop{opUnlink, sa, sb})
+	}
+}
+
+// merge unions the clusters rooted at ra and rb (distinct, with no direct
+// edge between them) and combines their edge sets small-into-large.
+func (g *Graph) merge(ra, rb int32) {
+	sa, sb := g.eset[ra], g.eset[rb]
+	root, _, _ := g.uf.Union(ra, rb)
+	if g.journaling {
+		g.journal = append(g.journal, gop{opUnion, 0, 0})
+	}
+	// Keep the larger edge set, drain the smaller into it. repoint checks
+	// for the self edge — an edge between the two merged clusters would be
+	// a conflict, and both insert paths rule it out before merging — and
+	// collapses edges that now coincide.
+	keep, drain := sa, sb
+	if g.deg[drain] > g.deg[keep] {
+		keep, drain = drain, keep
+	}
+	repoint := func(ns int32) {
+		g.unlink(drain, ns)
+		if ns == keep {
+			panic("clustergraph: self edge after merge")
+		}
+		if !g.hasEdgeSets(keep, ns) {
+			g.link(keep, ns)
+		}
+	}
+	if row := g.bits[drain]; row != nil {
+		// Single sweep: unlink only ever clears bits in this row, so each
+		// word is visited once instead of rescanning from word 0 per edge.
+		for w := range row {
+			for row[w] != 0 {
+				repoint(int32(w<<6 + bits.TrailingZeros64(row[w])))
+			}
+		}
+	} else {
+		// Draining the front keeps delHalf's membership scan O(1).
+		for len(g.adj[drain]) > 0 {
+			repoint(g.adj[drain][0])
+		}
+	}
+	if g.eset[root] != keep {
+		if g.journaling {
+			g.journal = append(g.journal, gop{opESet, root, g.eset[root]})
+		}
+		g.eset[root] = keep
+	}
+}
+
 // InsertMatching records that a and b are matching, merging their clusters
-// and re-pointing non-matching edges at the surviving root.
+// and their non-matching edge sets.
 //
 // It returns ErrConflict when the graph already implies a ≠ b; the graph is
 // left unchanged in that case.
@@ -116,43 +371,11 @@ func (g *Graph) InsertMatching(a, b int32) error {
 	if ra == rb {
 		return nil // already implied
 	}
-	if _, ok := g.adj[ra][rb]; ok {
+	if g.hasEdgeSets(g.eset[ra], g.eset[rb]) {
 		return fmt.Errorf("%w: objects %d and %d are non-matching by deduction", ErrConflict, a, b)
 	}
-	root, absorbed, _ := g.uf.Union(ra, rb)
-	g.mergeEdges(root, absorbed)
+	g.merge(ra, rb)
 	return nil
-}
-
-// mergeEdges re-points every non-matching edge of the absorbed root at the
-// surviving root, deduplicating edges that now coincide.
-func (g *Graph) mergeEdges(root, absorbed int32) {
-	old := g.adj[absorbed]
-	if len(old) == 0 {
-		delete(g.adj, absorbed)
-		return
-	}
-	dst := g.adj[root]
-	if dst == nil {
-		dst = make(map[int32]struct{}, len(old))
-		g.adj[root] = dst
-	}
-	for nb := range old {
-		delete(g.adj[nb], absorbed)
-		if nb == root {
-			// An edge between the two merged clusters would be a
-			// conflict; InsertMatching checks before unioning, so this
-			// cannot happen. Guard to keep the invariant obvious.
-			panic("clustergraph: self edge after merge")
-		}
-		if _, dup := dst[nb]; dup {
-			g.edges-- // two distinct edges collapsed into one
-			continue
-		}
-		dst[nb] = struct{}{}
-		g.adj[nb][root] = struct{}{}
-	}
-	delete(g.adj, absorbed)
 }
 
 // InsertNonMatching records that a and b are non-matching, adding an edge
@@ -165,23 +388,12 @@ func (g *Graph) InsertNonMatching(a, b int32) error {
 	if ra == rb {
 		return fmt.Errorf("%w: objects %d and %d are matching by deduction", ErrConflict, a, b)
 	}
-	if _, ok := g.adj[ra][rb]; ok {
+	sa, sb := g.eset[ra], g.eset[rb]
+	if g.hasEdgeSets(sa, sb) {
 		return nil // already implied
 	}
-	g.addEdge(ra, rb)
+	g.link(sa, sb)
 	return nil
-}
-
-func (g *Graph) addEdge(ra, rb int32) {
-	if g.adj[ra] == nil {
-		g.adj[ra] = make(map[int32]struct{})
-	}
-	if g.adj[rb] == nil {
-		g.adj[rb] = make(map[int32]struct{})
-	}
-	g.adj[ra][rb] = struct{}{}
-	g.adj[rb][ra] = struct{}{}
-	g.edges++
 }
 
 // Insert records a labeled pair: matching when matching is true, otherwise
@@ -212,21 +424,74 @@ func (g *Graph) ForceInsert(a, b int32, matching bool) {
 	if ra == rb {
 		return // matching: implied; non-matching: redundant edge, ignore
 	}
+	sa, sb := g.eset[ra], g.eset[rb]
 	if !matching {
-		if _, ok := g.adj[ra][rb]; !ok {
-			g.addEdge(ra, rb)
+		if !g.hasEdgeSets(sa, sb) {
+			g.link(sa, sb)
 		}
 		return
 	}
-	if _, ok := g.adj[ra][rb]; ok {
-		// Drop the direct edge before merging; mergeEdges re-points the
+	if g.hasEdgeSets(sa, sb) {
+		// Drop the direct edge before merging; the drain re-points the
 		// remaining edges, which all lead to third clusters.
-		delete(g.adj[ra], rb)
-		delete(g.adj[rb], ra)
-		g.edges--
+		g.unlink(sa, sb)
 	}
-	root, absorbed, _ := g.uf.Union(ra, rb)
-	g.mergeEdges(root, absorbed)
+	g.merge(ra, rb)
+}
+
+// Assume is the fused per-pair step of Algorithm 3's optimistic scan:
+// it deduces (a, b) and, when undeduced, force-inserts the pair as
+// matching — sharing the root lookups and the edge-set probe between the
+// deduction and the insert, which Deduce-then-ForceInsert would each
+// repeat. It returns the pair's verdict before the insert.
+func (g *Graph) Assume(a, b int32) Verdict {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return DeducedMatching
+	}
+	if g.hasEdgeSets(g.eset[ra], g.eset[rb]) {
+		return DeducedNonMatching
+	}
+	g.merge(ra, rb)
+	return Undeduced
+}
+
+// Mark identifies a graph state for Rollback. Marks are only valid on the
+// graph that issued them, and only until a Rollback to an earlier mark or a
+// Reset.
+type Mark int
+
+// Snapshot records the current state and returns a mark Rollback can
+// restore. The first Snapshot switches the graph (and its union-find) into
+// rollback mode: subsequent structural changes are journaled and path
+// compression is off until Reset. Snapshots nest: rolling back to an outer
+// mark discards inner ones.
+func (g *Graph) Snapshot() Mark {
+	if !g.journaling {
+		g.journaling = true
+		g.uf.BeginUndoLog()
+	}
+	return Mark(len(g.journal))
+}
+
+// Rollback restores the state recorded by Snapshot, undoing every insert
+// and merge performed since in reverse order. Cost is proportional to the
+// number of structural changes being undone.
+func (g *Graph) Rollback(m Mark) {
+	for len(g.journal) > int(m) {
+		op := g.journal[len(g.journal)-1]
+		g.journal = g.journal[:len(g.journal)-1]
+		switch op.kind {
+		case opLink:
+			g.rawUnlink(op.a, op.b)
+		case opUnlink:
+			g.rawLink(op.a, op.b)
+		case opUnion:
+			g.uf.UndoUnion()
+		case opESet:
+			g.eset[op.a] = op.b
+		}
+	}
 }
 
 // ClusterSize returns the number of objects in a's cluster.
@@ -236,46 +501,88 @@ func (g *Graph) ClusterSize(a int32) int32 { return g.uf.SizeOf(a) }
 // ordering guarantees. Intended for reporting and tests.
 func (g *Graph) Clusters() [][]int32 { return g.uf.Clusters() }
 
-// Clone returns an independent deep copy of the graph.
+// Clone returns an independent deep copy of the graph's current state.
+// Rollback history does not transfer: the clone starts un-journaled.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		uf:    g.uf.Clone(),
-		adj:   make(map[int32]map[int32]struct{}, len(g.adj)),
+		eset:  slices.Clone(g.eset),
+		deg:   slices.Clone(g.deg),
+		adj:   make([][]int32, len(g.adj)),
+		bits:  make([][]uint64, len(g.bits)),
+		words: g.words,
 		edges: g.edges,
+		dirty: slices.Clone(g.dirty),
 	}
-	for r, set := range g.adj {
-		cp := make(map[int32]struct{}, len(set))
-		for nb := range set {
-			cp[nb] = struct{}{}
+	for i, s := range g.adj {
+		if len(s) > 0 {
+			c.adj[i] = slices.Clone(s)
 		}
-		c.adj[r] = cp
+	}
+	for i, row := range g.bits {
+		if row != nil {
+			c.bits[i] = slices.Clone(row)
+		}
 	}
 	return c
 }
 
-// CloneInto copies g's state into dst, which must cover the same universe;
-// dst's allocations are reused where possible. It returns dst.
+// CloneInto copies g's current state into dst, which must cover the same
+// universe; dst's allocations are reused where possible and its rollback
+// history, if any, is discarded. It returns dst. Only the populated edge
+// sets of the two graphs (their dirty lists) are touched, so the cost is
+// O(n) array copies plus O(live edges), independent of how many sets were
+// ever populated before.
 func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst.Len() != g.Len() {
 		panic("clustergraph: CloneInto size mismatch")
 	}
 	g.uf.CloneInto(dst.uf)
-	clear(dst.adj)
-	for r, set := range g.adj {
-		cp := make(map[int32]struct{}, len(set))
-		for nb := range set {
-			cp[nb] = struct{}{}
+	copy(dst.eset, g.eset)
+	copy(dst.deg, g.deg)
+	for _, sid := range dst.dirty {
+		dst.adj[sid] = dst.adj[sid][:0]
+		if row := dst.bits[sid]; row != nil {
+			clear(row)
+			dst.rowPool = append(dst.rowPool, row)
+			dst.bits[sid] = nil
 		}
-		dst.adj[r] = cp
+	}
+	dst.dirty = append(dst.dirty[:0], g.dirty...)
+	for _, sid := range g.dirty {
+		dst.adj[sid] = append(dst.adj[sid][:0], g.adj[sid]...)
+		if row := g.bits[sid]; row != nil {
+			if dst.bits[sid] == nil {
+				dst.bits[sid] = dst.newRow()
+			}
+			copy(dst.bits[sid], row)
+		}
 	}
 	dst.edges = g.edges
+	dst.journaling = false
+	dst.journal = dst.journal[:0]
 	return dst
 }
 
 // Reset restores the graph to n singleton clusters with no edges, retaining
-// allocated capacity where possible.
+// allocated capacity (slices, pooled bitset rows) so a warm graph resets
+// without allocating.
 func (g *Graph) Reset() {
 	g.uf.Reset()
-	clear(g.adj)
+	for _, sid := range g.dirty {
+		g.adj[sid] = g.adj[sid][:0]
+		g.deg[sid] = 0
+		if row := g.bits[sid]; row != nil {
+			clear(row)
+			g.rowPool = append(g.rowPool, row)
+			g.bits[sid] = nil
+		}
+	}
+	g.dirty = g.dirty[:0]
+	for i := range g.eset {
+		g.eset[i] = int32(i)
+	}
 	g.edges = 0
+	g.journaling = false
+	g.journal = g.journal[:0]
 }

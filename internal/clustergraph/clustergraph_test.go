@@ -305,14 +305,18 @@ func TestQuickEdgeCountInvariant(t *testing.T) {
 			}
 			_ = g.Insert(a, b, rng.Intn(2) == 0) // conflicts allowed, must be rejected cleanly
 		}
-		// Count distinct undirected edges via adj and confirm symmetry.
+		// Count distinct undirected edges and confirm symmetry across both
+		// edge-set representations (slice and escalated bitset).
 		total := 0
-		for r, set := range g.adj {
-			for nb := range set {
-				if _, ok := g.adj[nb][r]; !ok {
+		for s := int32(0); s < int32(n); s++ {
+			for nb := int32(0); nb < int32(n); nb++ {
+				if !g.hasEdgeSets(s, nb) {
+					continue
+				}
+				if !g.hasEdgeSets(nb, s) {
 					return false
 				}
-				if r < nb {
+				if s < nb {
 					total++
 				}
 			}

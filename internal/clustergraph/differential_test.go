@@ -1,0 +1,230 @@
+package clustergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdjoin/internal/unionfind"
+)
+
+// The differential test drives long randomized operation sequences —
+// strict inserts, ForceInserts, snapshots, and rollbacks — through the
+// slice-and-bitset Graph and mirrors them in a plain list of labeled
+// pairs, the representation BruteForceDeduce consumes. After bursts of
+// operations it cross-checks Deduce verdicts for random queries, the
+// cluster count, and the edge count against the reference. Universe sizes
+// push set degrees past escalateDeg so both edge-set representations and
+// the escalation boundary are exercised, including under rollback.
+
+// modelCounts derives the expected cluster and edge counts from the
+// labeled-pair list: clusters are the matching-connectivity components,
+// and edges are the distinct component pairs joined by at least one
+// non-matching pair whose endpoints sit in different components — exactly
+// the graph ForceInsert semantics converge to regardless of insert order.
+func modelCounts(n int, ops []LabeledPair) (clusters, edges int) {
+	uf := unionfind.New(n)
+	for _, p := range ops {
+		if p.Matching {
+			uf.Union(p.A, p.B)
+		}
+	}
+	seen := make(map[[2]int32]bool)
+	for _, p := range ops {
+		if p.Matching {
+			continue
+		}
+		ra, rb := uf.Find(p.A), uf.Find(p.B)
+		if ra == rb {
+			continue
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		seen[[2]int32{ra, rb}] = true
+	}
+	return uf.Sets(), len(seen)
+}
+
+type diffSnapshot struct {
+	mark Mark
+	ops  int
+}
+
+func runDifferentialSequence(t *testing.T, seed int64, n, steps int) (opsDone int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	var ops []LabeledPair // the model: every pair the graph accepted
+	var snaps []diffSnapshot
+
+	check := func() {
+		wantClusters, wantEdges := modelCounts(n, ops)
+		if g.NumClusters() != wantClusters {
+			t.Fatalf("seed %d after %d ops: NumClusters = %d, want %d", seed, opsDone, g.NumClusters(), wantClusters)
+		}
+		if g.NumEdges() != wantEdges {
+			t.Fatalf("seed %d after %d ops: NumEdges = %d, want %d", seed, opsDone, g.NumEdges(), wantEdges)
+		}
+		for q := 0; q < 12; q++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			if got, want := g.Deduce(a, b), BruteForceDeduce(n, ops, a, b); got != want {
+				t.Fatalf("seed %d after %d ops: Deduce(%d,%d) = %v, want %v", seed, opsDone, a, b, got, want)
+			}
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		for a == b {
+			b = int32(rng.Intn(n))
+		}
+		matching := rng.Intn(2) == 0
+		switch r := rng.Intn(100); {
+		case r < 40: // strict insert; acceptance must match the reference
+			verdict := BruteForceDeduce(n, ops, a, b)
+			err := g.Insert(a, b, matching)
+			conflicts := (matching && verdict == DeducedNonMatching) ||
+				(!matching && verdict == DeducedMatching)
+			if conflicts != (err != nil) {
+				t.Fatalf("seed %d after %d ops: Insert(%d,%d,%v) err=%v, reference verdict %v", seed, opsDone, a, b, matching, err, verdict)
+			}
+			if err == nil {
+				ops = append(ops, LabeledPair{A: a, B: b, Matching: matching})
+			}
+			opsDone++
+		case r < 75: // ForceInsert always applies
+			g.ForceInsert(a, b, matching)
+			ops = append(ops, LabeledPair{A: a, B: b, Matching: matching})
+			opsDone++
+		case r < 88: // snapshot
+			snaps = append(snaps, diffSnapshot{mark: g.Snapshot(), ops: len(ops)})
+			opsDone++
+		default: // rollback to a random outstanding snapshot
+			if len(snaps) == 0 {
+				continue
+			}
+			i := rng.Intn(len(snaps))
+			g.Rollback(snaps[i].mark)
+			ops = ops[:snaps[i].ops]
+			snaps = snaps[:i] // inner snapshots are invalidated
+			opsDone++
+		}
+		if step%8 == 0 {
+			check()
+		}
+	}
+	check()
+	return opsDone
+}
+
+// TestDifferentialRandomOps runs ≥10k randomized operations across seeds
+// and universe sizes, comparing the Graph against the brute-force
+// reference throughout.
+func TestDifferentialRandomOps(t *testing.T) {
+	seeds := 16
+	steps := 700
+	if testing.Short() {
+		seeds, steps = 4, 300
+	}
+	total := 0
+	for seed := 0; seed < seeds; seed++ {
+		// Alternate small (collision-heavy) and large (escalation-heavy)
+		// universes.
+		n := 12
+		if seed%2 == 1 {
+			n = 150
+		}
+		total += runDifferentialSequence(t, int64(seed), n, steps)
+	}
+	if !testing.Short() && total < 10000 {
+		t.Fatalf("differential sequences performed %d ops, want ≥10000", total)
+	}
+}
+
+// TestDifferentialDenseEscalation hammers a dense instance where most
+// cluster pairs carry non-matching edges, guaranteeing sets cross
+// escalateDeg, then merges clusters to force bitset drains and rolls
+// everything back.
+func TestDifferentialDenseEscalation(t *testing.T) {
+	const n = 120
+	rng := rand.New(rand.NewSource(99))
+	g := New(n)
+	var ops []LabeledPair
+	m := g.Snapshot()
+	// Phase 1: many non-matching edges between singletons.
+	for i := 0; i < 2500; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		g.ForceInsert(a, b, false)
+		ops = append(ops, LabeledPair{A: a, B: b, Matching: false})
+	}
+	// Phase 2: merge down to ~n/6 clusters, draining escalated sets.
+	for i := 0; i < n; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		g.ForceInsert(a, b, true)
+		ops = append(ops, LabeledPair{A: a, B: b, Matching: true})
+	}
+	wantClusters, wantEdges := modelCounts(n, ops)
+	if g.NumClusters() != wantClusters || g.NumEdges() != wantEdges {
+		t.Fatalf("dense: clusters/edges = %d/%d, want %d/%d", g.NumClusters(), g.NumEdges(), wantClusters, wantEdges)
+	}
+	for q := 0; q < 300; q++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if got, want := g.Deduce(a, b), BruteForceDeduce(n, ops, a, b); got != want {
+			t.Fatalf("dense: Deduce(%d,%d) = %v, want %v", a, b, got, want)
+		}
+	}
+	// Phase 3: roll the whole thing back to the empty graph.
+	g.Rollback(m)
+	if g.NumClusters() != n || g.NumEdges() != 0 {
+		t.Fatalf("after full rollback: clusters=%d edges=%d, want %d, 0", g.NumClusters(), g.NumEdges(), n)
+	}
+	for q := 0; q < 50; q++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if g.Deduce(a, b) != Undeduced {
+			t.Fatalf("after full rollback: Deduce(%d,%d) != undeduced", a, b)
+		}
+	}
+}
+
+// TestSnapshotRollbackNested checks LIFO discipline: rolling back to an
+// outer mark undoes everything inner snapshots recorded.
+func TestSnapshotRollbackNested(t *testing.T) {
+	g := New(8)
+	mustInsert(t, g, 0, 1, true)
+	outer := g.Snapshot()
+	mustInsert(t, g, 2, 3, true)
+	inner := g.Snapshot()
+	mustInsert(t, g, 1, 2, false)
+	if g.Deduce(0, 3) != DeducedNonMatching {
+		t.Fatal("setup: (0,3) should be non-matching")
+	}
+	g.Rollback(inner)
+	if g.Deduce(0, 3) != Undeduced {
+		t.Error("rollback to inner mark kept the edge")
+	}
+	if g.Deduce(2, 3) != DeducedMatching {
+		t.Error("rollback to inner mark dropped the earlier merge")
+	}
+	g.Rollback(outer)
+	if g.Deduce(2, 3) != Undeduced {
+		t.Error("rollback to outer mark kept the inner merge")
+	}
+	if g.Deduce(0, 1) != DeducedMatching {
+		t.Error("rollback to outer mark dropped pre-snapshot state")
+	}
+}

@@ -24,6 +24,14 @@ type World struct {
 // ConsistentWorlds enumerates every complete labeling of pairs that is
 // consistent under transitive relations, weighting each by the product of
 // per-pair likelihoods and normalizing over the consistent set.
+//
+// Enumeration is a depth-first walk of the labeling tree using the
+// ClusterGraph's snapshot/rollback support — the backtracking realization
+// of a Gray-code schedule, where consecutive visited labelings differ by
+// the deepest flipped pair only. Each tree edge costs one insert and one
+// rollback, so the whole walk is amortized O(2^k) graph operations instead
+// of the O(k·2^k) rebuild-per-mask of the naive loop, and a conflicting
+// prefix prunes its entire subtree before any deeper work.
 func ConsistentWorlds(numObjects int, pairs []Pair) ([]World, error) {
 	if err := ValidatePairs(numObjects, pairs); err != nil {
 		return nil, err
@@ -35,32 +43,53 @@ func ConsistentWorlds(numObjects int, pairs []Pair) ([]World, error) {
 	var worlds []World
 	total := 0.0
 	g := clustergraph.New(numObjects)
-	for mask := 0; mask < 1<<k; mask++ {
-		g.Reset()
-		consistent := true
-		p := 1.0
-		for i, pr := range pairs {
-			matching := mask&(1<<i) != 0
-			if err := g.Insert(pr.A, pr.B, matching); err != nil {
-				consistent = false
-				break
+	// Depth d of the walk decides pair k-1-d, so bit k-1 is outermost and
+	// the leaves appear in ascending-mask order, with the non-matching
+	// branch (bit 0) first. mask carries the labels of the pairs decided on
+	// the current path.
+	mask := 0
+	var walk func(i int)
+	walk = func(i int) {
+		if i < 0 {
+			// Leaf: a consistent complete labeling. The probability is
+			// recomputed in pair order for bitwise-stable products.
+			p := 1.0
+			labels := make([]Label, k)
+			for j, pr := range pairs {
+				if mask&(1<<j) != 0 {
+					p *= pr.Likelihood
+					labels[pr.ID] = Matching
+				} else {
+					p *= 1 - pr.Likelihood
+					labels[pr.ID] = NonMatching
+				}
 			}
-			if matching {
-				p *= pr.Likelihood
-			} else {
-				p *= 1 - pr.Likelihood
+			if p == 0 {
+				return
 			}
+			worlds = append(worlds, World{Labels: labels, P: p})
+			total += p
+			return
 		}
-		if !consistent || p == 0 {
-			continue
+		pr := pairs[i]
+		if pr.Likelihood != 1 { // zero-weight branch: prune
+			m := g.Snapshot()
+			if g.Insert(pr.A, pr.B, false) == nil {
+				walk(i - 1)
+			}
+			g.Rollback(m)
 		}
-		labels := make([]Label, k)
-		for i, pr := range pairs {
-			labels[pr.ID] = LabelOf(mask&(1<<i) != 0)
+		if pr.Likelihood != 0 {
+			m := g.Snapshot()
+			if g.Insert(pr.A, pr.B, true) == nil {
+				mask |= 1 << i
+				walk(i - 1)
+				mask &^= 1 << i
+			}
+			g.Rollback(m)
 		}
-		worlds = append(worlds, World{Labels: labels, P: p})
-		total += p
 	}
+	walk(k - 1)
 	if total == 0 {
 		return nil, fmt.Errorf("core: no consistent world has positive probability")
 	}
@@ -75,15 +104,57 @@ func ConsistentWorlds(numObjects int, pairs []Pair) ([]World, error) {
 // labeler needs when the crowd answers according to each world
 // (Definition 3's objective).
 func ExpectedCost(numObjects int, order []Pair, worlds []World) (float64, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return 0, err
+	}
+	return expectedCost(clustergraph.New(numObjects), order, worlds, math.Inf(1))
+}
+
+// expectedCost sums w.P·C(order, w) over worlds, reusing scratch (Reset
+// between worlds) so replays allocate nothing. Accumulation stops early
+// once the partial sum reaches bound: the remaining terms are nonnegative,
+// so the result can only grow — callers comparing against a best-so-far
+// pass it as bound and treat a returned value ≥ bound as "not better".
+func expectedCost(scratch *clustergraph.Graph, order []Pair, worlds []World, bound float64) (float64, error) {
 	e := 0.0
+	oracle := WorldOracle{}
 	for _, w := range worlds {
-		res, err := LabelSequential(numObjects, order, &WorldOracle{Labels: w.Labels})
+		oracle.Labels = w.Labels
+		scratch.Reset()
+		c, err := countCrowdsourcedInto(scratch, order, &oracle)
 		if err != nil {
 			return 0, err
 		}
-		e += w.P * float64(res.NumCrowdsourced)
+		e += w.P * float64(c)
+		if e >= bound {
+			return e, nil
+		}
 	}
 	return e, nil
+}
+
+// countCrowdsourcedInto is the counting kernel of the sequential labeler
+// (LabelSequential): it walks the order through scratch — which must be
+// empty or Reset and sized to the object universe — and returns how many
+// pairs the oracle had to answer. Unlike LabelSequential it records no
+// per-pair results and performs no input validation, so replay-heavy
+// callers (expected-cost, brute-force order search) stay allocation-free.
+func countCrowdsourcedInto(scratch *clustergraph.Graph, order []Pair, oracle Oracle) (int, error) {
+	count := 0
+	for _, p := range order {
+		if scratch.Deduce(p.A, p.B) != clustergraph.Undeduced {
+			continue
+		}
+		l := oracle.Label(p)
+		if err := checkAnswer(p, l); err != nil {
+			return 0, err
+		}
+		if err := scratch.Insert(p.A, p.B, l == Matching); err != nil {
+			return 0, fmt.Errorf("core: sequential labeling: %w", err)
+		}
+		count++
+	}
+	return count, nil
 }
 
 // ExpectedCostOfOrder enumerates the consistent worlds of order's pairs and
@@ -116,10 +187,13 @@ func BruteForceExpectedOptimal(numObjects int, pairs []Pair) ([]Pair, float64, e
 	best := math.Inf(1)
 	var bestOrder []Pair
 	perm := clonePairs(pairs)
+	scratch := clustergraph.New(numObjects)
 	// Heap's algorithm, iterative.
 	c := make([]int, len(perm))
 	consider := func() error {
-		e, err := ExpectedCost(numObjects, perm, worlds)
+		// best as the early-exit bound: a permutation whose partial sum
+		// already reaches the incumbent cannot win.
+		e, err := expectedCost(scratch, perm, worlds, best)
 		if err != nil {
 			return err
 		}

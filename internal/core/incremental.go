@@ -1,124 +1,177 @@
 package core
 
 import (
-	"fmt"
-
 	"crowdjoin/internal/clustergraph"
 )
 
 // IncrementalScanner computes Algorithm 3's crowdsourceable set repeatedly
 // over the same order, reusing work across invocations.
 //
-// The scan's state at position i depends only on positions < i, and a new
-// crowd label at position j leaves every decision before j unchanged
-// (deduced labels never change the scan graph: a pair deducible under the
-// scan's optimistic assumption inserts as a structural no-op). The scanner
-// therefore snapshots the scan graph at checkpoint positions; each rescan
-// resumes from the latest checkpoint at or before the smallest position
-// whose label changed, instead of replaying the whole prefix.
+// The scan's state at position i depends only on positions < i, and labels
+// are final once set, so the prefix of the order that is fully labeled
+// replays identically in every future scan. The scanner therefore keeps a
+// persistent base graph that it advances past that labeled prefix exactly
+// once — every label change happens at or after the first unlabeled
+// position, so the base can never be invalidated — and each scan copies
+// the base into a scratch graph (one O(n + edges) memcpy) and replays only
+// the suffix from the first unlabeled position onward. Symmetrically, the
+// scan stops at the last position that can still hold an unlabeled pair
+// (non-increasing, for the same reason): nothing after it can be selected
+// or deduced, and nothing after it needs the scan state.
 //
-// With checkpoints every C positions a rescan after a change at position j
-// costs O(C + P - j) instead of O(P). Instant-decision labeling triggers a
-// rescan per non-matching answer, and under the likelihood-descending
-// order those answers concentrate late in the order, so most of the prefix
-// is skipped.
+// A rescan whose active window has shrunk to [f, t) costs O(n + t - f)
+// instead of the O(P) full rebuild. Under the likelihood-descending order
+// the frontier races forward as early (high-likelihood, mostly matching)
+// pairs are labeled or deduced, so most scans touch only part of the
+// order's tail. An earlier design checkpointed the scan graph with clones
+// (and later with rollback journals); advancing a base past the final
+// prefix beats both — it never repeats prefix work, keeps path compression
+// effective, and allocates nothing per rescan.
 type IncrementalScanner struct {
-	numObjects int
-	order      []Pair
-	every      int
-	// checkpoints[k] snapshots the scan graph before processing position
-	// k*every. checkpoints[0] is the empty graph. Entries beyond
-	// validCheckpoints were invalidated by label changes.
-	checkpoints      []*clustergraph.Graph
-	validCheckpoints int
-	scratch          *clustergraph.Graph
+	order []Pair
+	// base holds the scan state of order[:pos], all labeled with final
+	// labels; pos is the first position the base has not absorbed.
+	base *clustergraph.Graph
+	pos  int
+	// limit is one past the last position that held an unlabeled pair in
+	// the previous scan; later positions are labeled forever and their
+	// state is needed by nothing that follows them.
+	limit int
+	// scratch receives base's state each scan and replays the suffix.
+	scratch *clustergraph.Graph
+	// posLabels mirrors the caller's by-ID label slice in order position,
+	// so the scan loop reads labels sequentially instead of hopping
+	// through the ID permutation. Enabled by EnableLabelMirror; the caller
+	// must then report every label it assigns through NoteLabel (labels
+	// the scan deduces itself are mirrored internally).
+	posLabels []Label
+	posByID   []int32
 }
 
-// NewIncrementalScanner prepares a scanner for the given order. every is
-// the checkpoint interval; every <= 0 picks max(128, len(order)/8).
-// Snapshots are graph clones, so denser checkpoints trade clone cost for
-// shorter replays; len/8 keeps the clone overhead below the replay savings
-// on the evaluation workloads.
-func NewIncrementalScanner(numObjects int, order []Pair, every int) *IncrementalScanner {
-	if every <= 0 {
-		every = len(order) / 8
-		if every < 128 {
-			every = 128
-		}
-	}
+// NewIncrementalScanner prepares a scanner for the given order.
+func NewIncrementalScanner(numObjects int, order []Pair) *IncrementalScanner {
 	return &IncrementalScanner{
-		numObjects:       numObjects,
-		order:            order,
-		every:            every,
-		checkpoints:      []*clustergraph.Graph{clustergraph.New(numObjects)},
-		validCheckpoints: 1,
-		scratch:          clustergraph.New(numObjects),
+		order:   order,
+		base:    clustergraph.New(numObjects),
+		limit:   len(order),
+		scratch: clustergraph.New(numObjects),
 	}
+}
+
+// EnableLabelMirror switches the scanner to position-indexed label reads.
+// Call before the first scan, while every pair is still unlabeled.
+func (s *IncrementalScanner) EnableLabelMirror() {
+	s.posLabels = make([]Label, len(s.order))
+	s.posByID = make([]int32, len(s.order))
+	for pos, p := range s.order {
+		s.posByID[p.ID] = int32(pos)
+	}
+}
+
+// NoteLabel records that the pair with the given ID now carries l. With
+// the mirror enabled the caller must invoke it for every label it assigns
+// outside the scan (crowd answers, including conflict overrides).
+func (s *IncrementalScanner) NoteLabel(id int, l Label) {
+	s.posLabels[s.posByID[id]] = l
 }
 
 // Crowdsourceable returns the pairs that must be crowdsourced given the
 // current labels (indexed by Pair.ID), excluding pairs marked in skip.
-// changedPos is the smallest order position whose label changed since the
-// previous call (len(order) when nothing changed, 0 for the first call or
-// when unknown — always safe, just slower).
-func (s *IncrementalScanner) Crowdsourceable(labels []Label, skip []bool, changedPos int) []Pair {
-	if changedPos < 0 {
-		changedPos = 0
-	}
-	// Drop checkpoints that cover positions at or after the change.
-	// Checkpoint k holds state before position k*every, so it stays valid
-	// iff k*every <= changedPos.
-	maxValid := changedPos/s.every + 1
-	if s.validCheckpoints > maxValid {
-		s.validCheckpoints = maxValid
-	}
-	start := (s.validCheckpoints - 1) * s.every
-	s.scratch.Reset()
-	g := s.checkpoints[s.validCheckpoints-1].CloneInto(s.scratch)
+func (s *IncrementalScanner) Crowdsourceable(labels []Label, skip []bool) []Pair {
+	out, _ := s.scan(labels, skip, nil, nil)
+	return out
+}
 
-	var out []Pair
-	// The reused prefix needs no re-emission: its decisions are unchanged
-	// (labels before changedPos did not change) and every pair it selected
-	// was published by the previous invocation — the scanner's contract is
-	// that callers publish everything returned before calling again.
-	for pos := start; pos < len(s.order); pos++ {
-		// Record a fresh checkpoint when crossing an interval border:
-		// checkpoint k holds the state before position k*every. The border
-		// at start itself is the checkpoint the scan resumed from.
-		if pos > start && pos%s.every == 0 {
-			s.snapshot(pos/s.every, g)
+// scan is the Algorithm 3 kernel behind Crowdsourceable and the fused
+// parallel driver. When dedG is non-nil, each still-unlabeled pair is
+// first checked against it with the precomputed roots (Algorithm 2's
+// deduction phase fused into the same pass); a deduced pair's label is
+// written into labels (and the mirror) and counted in the returned total,
+// and the scan then treats the pair as labeled.
+func (s *IncrementalScanner) scan(labels []Label, skip []bool, dedG *clustergraph.Graph, dedRoots []int32) (out []Pair, deduced int) {
+	// Advance the base past the labeled prefix; these positions replay
+	// identically forever, so this work happens once per position. An
+	// unlabeled pair that deduction can label right now is final too, so
+	// it joins the base instead of stopping the advance — the base halts
+	// only at the first pair that must be crowdsourced, which is always
+	// the first member of the next batch.
+advance:
+	for s.pos < len(s.order) {
+		p := s.order[s.pos]
+		var l Label
+		if s.posLabels != nil {
+			l = s.posLabels[s.pos]
+		} else {
+			l = labels[p.ID]
 		}
+		if l == Unlabeled {
+			if dedG == nil {
+				break
+			}
+			switch dedG.DeduceRoots(dedRoots[p.A], dedRoots[p.B]) {
+			case clustergraph.DeducedMatching:
+				l = Matching
+			case clustergraph.DeducedNonMatching:
+				l = NonMatching
+			default:
+				break advance
+			}
+			labels[p.ID] = l
+			if s.posLabels != nil {
+				s.posLabels[s.pos] = l
+			}
+			deduced++
+		}
+		s.base.ForceInsert(p.A, p.B, l == Matching)
+		s.pos++
+	}
+	g := s.base.CloneInto(s.scratch)
+
+	// The reused prefix needs no re-emission: every pair it selected was
+	// published by a previous invocation — the scanner's contract is that
+	// callers publish everything returned before calling again.
+	hi := s.limit
+	newLimit := s.pos
+	for pos := s.pos; pos < hi; pos++ {
 		p := s.order[pos]
-		switch labels[p.ID] {
+		var l Label
+		if s.posLabels != nil {
+			l = s.posLabels[pos]
+		} else {
+			l = labels[p.ID]
+		}
+		if l == Unlabeled && dedG != nil {
+			switch dedG.DeduceRoots(dedRoots[p.A], dedRoots[p.B]) {
+			case clustergraph.DeducedMatching:
+				l = Matching
+			case clustergraph.DeducedNonMatching:
+				l = NonMatching
+			}
+			if l != Unlabeled {
+				labels[p.ID] = l
+				if s.posLabels != nil {
+					s.posLabels[pos] = l
+				}
+				deduced++
+			}
+		}
+		switch l {
 		case Matching:
 			g.ForceInsert(p.A, p.B, true)
 		case NonMatching:
 			g.ForceInsert(p.A, p.B, false)
 		default:
-			if g.Deduce(p.A, p.B) != clustergraph.Undeduced {
+			newLimit = pos + 1
+			// Assume fuses the optimistic deduction with the matching
+			// insert Algorithm 3 performs on undeduced pairs.
+			if g.Assume(p.A, p.B) != clustergraph.Undeduced {
 				continue
 			}
 			if skip == nil || !skip[p.ID] {
 				out = append(out, p)
 			}
-			g.ForceInsert(p.A, p.B, true)
 		}
 	}
-	return out
-}
-
-// snapshot stores a clone of g as checkpoint k.
-func (s *IncrementalScanner) snapshot(k int, g *clustergraph.Graph) {
-	clone := g.Clone()
-	if k < len(s.checkpoints) {
-		s.checkpoints[k] = clone
-	} else if k == len(s.checkpoints) {
-		s.checkpoints = append(s.checkpoints, clone)
-	} else {
-		// Gaps cannot happen: the scan crosses borders in order.
-		panic(fmt.Sprintf("core: checkpoint gap k=%d len=%d valid=%d every=%d order=%d", k, len(s.checkpoints), s.validCheckpoints, s.every, len(s.order)))
-	}
-	if s.validCheckpoints < k+1 {
-		s.validCheckpoints = k + 1
-	}
+	s.limit = newLimit
+	return out, deduced
 }

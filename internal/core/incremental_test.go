@@ -13,23 +13,14 @@ import (
 // marked published — the incremental scanner returns exactly what a
 // from-scratch Algorithm 3 scan returns, at every step.
 func TestIncrementalScannerMatchesScratch(t *testing.T) {
-	f := func(seed int64, tinyCheckpoints bool) bool {
+	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n, pairs, truth := randomInstance(rng, 14, 40)
 		order := ExpectedOrder(pairs)
-		every := 0
-		if tinyCheckpoints {
-			every = 1 + rng.Intn(4) // stress checkpoint borders
-		}
-		scanner := NewIncrementalScanner(n, order, every)
+		scanner := NewIncrementalScanner(n, order)
 
 		labels := make([]Label, len(order))
 		published := make([]bool, len(order))
-		posByID := make([]int, len(order))
-		for pos, p := range order {
-			posByID[p.ID] = pos
-		}
-		changed := 0
 		// Simulate the instant-decision loop: scan, publish, answer one
 		// published pair, deduce, repeat.
 		for step := 0; step < 200; step++ {
@@ -44,8 +35,7 @@ func TestIncrementalScannerMatchesScratch(t *testing.T) {
 					wantUnpublished = append(wantUnpublished, p)
 				}
 			}
-			got := scanner.Crowdsourceable(labels, published, changed)
-			changed = len(order)
+			got := scanner.Crowdsourceable(labels, published)
 			if len(got) != len(wantUnpublished) {
 				return false
 			}
@@ -63,11 +53,7 @@ func TestIncrementalScannerMatchesScratch(t *testing.T) {
 				if !published[p.ID] || labels[p.ID] != Unlabeled {
 					continue
 				}
-				l := truth.Label(p)
-				labels[p.ID] = l
-				if l == NonMatching && posByID[p.ID] < changed {
-					changed = posByID[p.ID]
-				}
+				labels[p.ID] = truth.Label(p)
 				answered = true
 				break
 			}
@@ -114,7 +100,6 @@ func TestLabelOnPlatformIncrementalEquivalence(t *testing.T) {
 			res, err := LabelOnPlatformOpts(n, order, pf, PlatformOptions{
 				Instant:         instant,
 				IncrementalScan: incremental,
-				CheckpointEvery: 3,
 			})
 			if err != nil {
 				return nil

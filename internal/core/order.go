@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Truth is a ground-truth predicate over object pairs, used only by the
@@ -16,11 +17,11 @@ type Truth func(a, b int32) bool
 // order is deterministic. The input is not modified.
 func ExpectedOrder(pairs []Pair) []Pair {
 	out := clonePairs(pairs)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Likelihood != out[j].Likelihood {
-			return out[i].Likelihood > out[j].Likelihood
+	slices.SortFunc(out, func(a, b Pair) int {
+		if c := cmp.Compare(b.Likelihood, a.Likelihood); c != 0 {
+			return c
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }
@@ -31,9 +32,15 @@ func ExpectedOrder(pairs []Pair) []Pair {
 // Lemma 3 the within-group order does not change the crowdsourced count.
 func OptimalOrder(pairs []Pair, truth Truth) []Pair {
 	out := ExpectedOrder(pairs)
-	sort.SliceStable(out, func(i, j int) bool {
-		mi, mj := truth(out[i].A, out[i].B), truth(out[j].A, out[j].B)
-		return mi && !mj
+	slices.SortStableFunc(out, func(a, b Pair) int {
+		ma, mb := truth(a.A, a.B), truth(b.A, b.B)
+		if ma == mb {
+			return 0
+		}
+		if ma {
+			return -1
+		}
+		return 1
 	})
 	return out
 }
@@ -42,9 +49,15 @@ func OptimalOrder(pairs []Pair, truth Truth) []Pair {
 // non-matching pairs first, then the matching pairs.
 func WorstOrder(pairs []Pair, truth Truth) []Pair {
 	out := ExpectedOrder(pairs)
-	sort.SliceStable(out, func(i, j int) bool {
-		mi, mj := truth(out[i].A, out[i].B), truth(out[j].A, out[j].B)
-		return !mi && mj
+	slices.SortStableFunc(out, func(a, b Pair) int {
+		ma, mb := truth(a.A, a.B), truth(b.A, b.B)
+		if ma == mb {
+			return 0
+		}
+		if ma {
+			return 1
+		}
+		return -1
 	})
 	return out
 }

@@ -43,17 +43,16 @@ func crowdsourceable(scratch *clustergraph.Graph, order []Pair, labels []Label, 
 		case NonMatching:
 			scratch.ForceInsert(p.A, p.B, false)
 		default:
-			if scratch.Deduce(p.A, p.B) != clustergraph.Undeduced {
-				// Deducible from the prefix under the all-matching
-				// assumption; its label is determined by earlier pairs, so
-				// the graph already carries its information.
+			// Assume deduces the pair and, when undeduced, supposes it is
+			// matching (Algorithm 3, line 11) in one fused step. A
+			// deducible pair's label is determined by earlier pairs, so
+			// the graph already carries its information.
+			if scratch.Assume(p.A, p.B) != clustergraph.Undeduced {
 				continue
 			}
 			if skip == nil || !skip[p.ID] {
 				out = append(out, p)
 			}
-			// Suppose it is a matching pair (Algorithm 3, line 11).
-			scratch.ForceInsert(p.A, p.B, true)
 		}
 	}
 	return out
@@ -78,24 +77,46 @@ type ParallelResult struct {
 // all pairs whose labels now follow from transitive relations. It terminates
 // when every pair is labeled.
 //
-// The total number of crowdsourced pairs equals the sequential labeler's for
-// the same order and oracle (Section 5.1).
+// The rounds are incremental: instead of rebuilding Algorithm 3's scan
+// from scratch and sweeping the whole order for deductions after every
+// batch, the driver uses an IncrementalScanner whose fused pass both
+// deduces still-unlabeled pairs (Algorithm 2, lines 6–8) and selects the
+// next batch, while a persistent base graph permanently absorbs the
+// growing labeled-and-deduced prefix so each round replays only the active
+// window of the order. The published batches, deduced labels, and round
+// sizes are identical to the from-scratch formulation.
+//
+// The total number of crowdsourced pairs equals the sequential labeler's
+// for the same order and oracle (Section 5.1).
 func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelResult, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
 	res := &ParallelResult{Result: *newResult(len(order))}
 	labeled := clustergraph.New(numObjects) // crowd-labeled pairs only
-	scratch := clustergraph.New(numObjects)
+	scanner := NewIncrementalScanner(numObjects, order)
+	scanner.EnableLabelMirror()
 	unlabeled := len(order)
 
+	// The labeled graph is frozen during a scan, so each round resolves
+	// every object's root once into rootBuf and the scan's fused deduction
+	// resolves pairs with two array loads instead of two Find walks.
+	rootBuf := make([]int32, numObjects)
+	labeled.RootsInto(rootBuf)
+
 	for unlabeled > 0 {
-		scratch.Reset()
-		batch := crowdsourceable(scratch, order, res.Labels, nil)
+		batch, deduced := scanner.scan(res.Labels, nil, labeled, rootBuf)
+		res.NumDeduced += deduced
+		unlabeled -= deduced
 		if len(batch) == 0 {
+			if unlabeled == 0 {
+				// The final answers made every remaining pair deducible;
+				// the fused pass above just labeled them.
+				break
+			}
 			// Cannot happen: the first unlabeled pair in the order is
 			// always selected, because its prefix holds only actual labels
-			// and the deduction phase below already exhausted those.
+			// and the fused deduction already exhausted those.
 			return nil, fmt.Errorf("core: parallel labeling stalled with %d pairs unlabeled", unlabeled)
 		}
 		answers := oracle.LabelBatch(batch)
@@ -124,28 +145,13 @@ func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelR
 				}
 			}
 			res.Labels[p.ID] = l
+			scanner.NoteLabel(p.ID, l)
 			res.Crowdsourced[p.ID] = true
 			res.NumCrowdsourced++
 			unlabeled--
 		}
 		res.RoundSizes = append(res.RoundSizes, len(batch))
-		// Deduction phase (Algorithm 2, lines 6–8): label every remaining
-		// pair whose label now follows from the crowd-labeled pairs.
-		for _, p := range order {
-			if res.Labels[p.ID] != Unlabeled {
-				continue
-			}
-			switch labeled.Deduce(p.A, p.B) {
-			case clustergraph.DeducedMatching:
-				res.Labels[p.ID] = Matching
-				res.NumDeduced++
-				unlabeled--
-			case clustergraph.DeducedNonMatching:
-				res.Labels[p.ID] = NonMatching
-				res.NumDeduced++
-				unlabeled--
-			}
-		}
+		labeled.RootsInto(rootBuf) // the batch's answers moved the roots
 	}
 	return res, nil
 }

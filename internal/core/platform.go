@@ -47,14 +47,12 @@ type PlatformOptions struct {
 	// republish newly mandatory pairs after every answer instead of
 	// waiting for the platform to drain.
 	Instant bool
-	// IncrementalScan computes Algorithm 3 with the checkpointed
-	// IncrementalScanner instead of rebuilding the scan from scratch at
-	// every republish. The published pairs and final labels are identical;
-	// only the work per republish changes (see BenchmarkAblationIncremental).
+	// IncrementalScan computes Algorithm 3 with the IncrementalScanner —
+	// which replays only the order's suffix past the fully labeled prefix —
+	// instead of rebuilding the scan from scratch at every republish. The
+	// published pairs and final labels are identical; only the work per
+	// republish changes (see BenchmarkAblationIncremental).
 	IncrementalScan bool
-	// CheckpointEvery overrides the scanner's checkpoint interval
-	// (0 = automatic). Ignored without IncrementalScan.
-	CheckpointEvery int
 	// IncrementalDeduce re-checks only the pairs incident to the clusters
 	// a crowd answer touched, instead of walking the whole order after
 	// every answer. Results are identical; the deduction pass dominates
@@ -86,19 +84,11 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 	unlabeled := len(order)
 	instant := opts.Instant
 
-	// changedPos tracks the smallest order position whose label changed
-	// since the last scan; positions before it are reusable prefix.
-	changedPos := 0
-	posByID := make([]int, len(order))
-	for pos, p := range order {
-		posByID[p.ID] = pos
-	}
-
 	var scan func() []Pair
 	if opts.IncrementalScan {
-		scanner := NewIncrementalScanner(numObjects, order, opts.CheckpointEvery)
+		scanner := NewIncrementalScanner(numObjects, order)
 		scan = func() []Pair {
-			return scanner.Crowdsourceable(res.Labels, published, changedPos)
+			return scanner.Crowdsourceable(res.Labels, published)
 		}
 	} else {
 		scratch := clustergraph.New(numObjects)
@@ -132,7 +122,6 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 
 	publish := func() {
 		batch := scan()
-		changedPos = len(order)
 		if len(batch) == 0 {
 			return
 		}
@@ -190,12 +179,6 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 		res.Crowdsourced[p.ID] = true
 		res.NumCrowdsourced++
 		unlabeled--
-		if l == NonMatching && posByID[p.ID] < changedPos {
-			// Only a non-matching crowd answer alters the scan graph: a
-			// matching answer confirms Algorithm 3's assumption and a
-			// deduced label inserts redundantly.
-			changedPos = posByID[p.ID]
-		}
 		// Deduce everything that now follows from the crowd labels.
 		// Published pairs are excluded: they are already paid for and their
 		// crowd answer is on its way, so the crowd label wins. (With an

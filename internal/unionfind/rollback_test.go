@@ -1,0 +1,86 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUndoUnionRestoresState interleaves unions, finds (which journal
+// their path halvings), and undos, checking after each undo burst that
+// the partition matches a reference forest rebuilt from the surviving
+// prefix of unions.
+func TestUndoUnionRestoresState(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(5))
+	u := New(n)
+	u.BeginUndoLog()
+
+	type union struct{ x, y int32 }
+	var applied []union // unions that actually merged, in order
+
+	same := func(ops []union, x, y int32) bool {
+		ref := New(n)
+		for _, op := range ops {
+			ref.Union(op.x, op.y)
+		}
+		return ref.Same(x, y)
+	}
+
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if _, _, merged := u.Union(x, y); merged {
+				applied = append(applied, union{x, y})
+			}
+		case 5, 6, 7:
+			// Finds journal halvings; they must not break undo.
+			u.Find(int32(rng.Intn(n)))
+		default:
+			if len(applied) == 0 {
+				continue
+			}
+			k := 1 + rng.Intn(len(applied))
+			for i := 0; i < k; i++ {
+				u.UndoUnion()
+			}
+			applied = applied[:len(applied)-k]
+			// Spot-check the partition against the reference.
+			want := New(n)
+			for _, op := range applied {
+				want.Union(op.x, op.y)
+			}
+			if u.Sets() != want.Sets() {
+				t.Fatalf("step %d: Sets = %d, want %d", step, u.Sets(), want.Sets())
+			}
+			for q := 0; q < 16; q++ {
+				x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if u.Same(x, y) != same(applied, x, y) {
+					t.Fatalf("step %d: Same(%d,%d) mismatch after undo", step, x, y)
+				}
+			}
+			// Sizes must also be restored.
+			for x := int32(0); x < n; x++ {
+				if u.SizeOf(x) != want.SizeOf(x) {
+					t.Fatalf("step %d: SizeOf(%d) = %d, want %d", step, x, u.SizeOf(x), want.SizeOf(x))
+				}
+			}
+		}
+	}
+}
+
+func TestResetClearsUndoLog(t *testing.T) {
+	u := New(4)
+	u.BeginUndoLog()
+	u.Union(0, 1)
+	u.Reset()
+	if u.Sets() != 4 {
+		t.Fatalf("Sets after Reset = %d, want 4", u.Sets())
+	}
+	// Reset leaves undoable mode; unions are no longer journaled and
+	// Find compresses without journaling again.
+	u.Union(2, 3)
+	if len(u.undo) != 0 {
+		t.Fatalf("undo log not cleared by Reset: %d entries", len(u.undo))
+	}
+}

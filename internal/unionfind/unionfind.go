@@ -4,15 +4,37 @@
 //
 // All operations are amortized near-constant (inverse Ackermann). The zero
 // value is not usable; construct with New.
+//
+// The forest also supports a rollback variant for backtracking search
+// (world enumeration, checkpointed scans): after BeginUndoLog, unions AND
+// path-halving pointer updates are recorded in one LIFO undo log, so
+// UndoUnion can revert merges exactly. Journaling the halvings keeps path
+// compression on in rollback mode: a halved pointer that skips a root is
+// only unsafe if that root's union is later undone, and such a halving is
+// necessarily recorded after the union, so the LIFO replay restores it
+// first. Finds therefore stay amortized near-constant in both modes.
 package unionfind
 
 import "fmt"
+
+// undoEntry records one parent-pointer overwrite. A union is encoded as
+// parent == node (the absorbed root pointed at itself before the union)
+// and additionally restores the size and set counters on undo; any other
+// entry is a journaled path halving.
+type undoEntry struct {
+	node, parent int32
+}
 
 // UF is a disjoint-set forest over the dense universe [0, n).
 type UF struct {
 	parent []int32
 	size   []int32 // size[r] is the cluster size; meaningful only for roots
 	sets   int     // current number of disjoint sets
+
+	// undoable switches the forest into rollback mode: unions and path
+	// halvings append their inverse to undo.
+	undoable bool
+	undo     []undoEntry
 }
 
 // New returns a forest of n singleton sets labeled 0..n-1.
@@ -39,13 +61,56 @@ func (u *UF) Len() int { return len(u.parent) }
 func (u *UF) Sets() int { return u.sets }
 
 // Find returns the canonical representative of x's set, applying path
-// halving as it walks to the root.
+// halving as it walks to the root (journaled in rollback mode).
 func (u *UF) Find(x int32) int32 {
+	if u.undoable {
+		for {
+			p := u.parent[x]
+			if p == x {
+				return x
+			}
+			gp := u.parent[p]
+			if gp == p {
+				return p
+			}
+			u.undo = append(u.undo, undoEntry{x, p})
+			u.parent[x] = gp
+			x = gp
+		}
+	}
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]] // path halving
 		x = u.parent[x]
 	}
 	return x
+}
+
+// BeginUndoLog switches the forest into rollback mode: subsequent unions
+// and path halvings are recorded so UndoUnion can revert merges. Reset
+// returns the forest to unjournaled mode. Enabling is idempotent and
+// never forgets already recorded operations.
+func (u *UF) BeginUndoLog() { u.undoable = true }
+
+// UndoUnion reverts the most recently recorded union, first restoring any
+// path halvings journaled after it. It panics when no recorded union
+// remains.
+func (u *UF) UndoUnion() {
+	for {
+		e := u.undo[len(u.undo)-1]
+		u.undo = u.undo[:len(u.undo)-1]
+		if e.parent != e.node {
+			u.parent[e.node] = e.parent // journaled halving
+			continue
+		}
+		// The union that absorbed e.node: every halving journaled after it
+		// has been restored above, so e.node points directly at the
+		// surviving root again.
+		r := u.parent[e.node]
+		u.size[r] -= u.size[e.node]
+		u.parent[e.node] = e.node
+		u.sets++
+		return
+	}
 }
 
 // Same reports whether x and y are in the same set.
@@ -70,10 +135,15 @@ func (u *UF) Union(x, y int32) (root, absorbed int32, merged bool) {
 	u.parent[ry] = rx
 	u.size[rx] += u.size[ry]
 	u.sets--
+	if u.undoable {
+		u.undo = append(u.undo, undoEntry{ry, ry})
+	}
 	return rx, ry, true
 }
 
-// Clone returns an independent deep copy of the forest.
+// Clone returns an independent deep copy of the current partition. The
+// clone starts in compressing mode with an empty undo log regardless of
+// the receiver's mode: rollback history does not transfer.
 func (u *UF) Clone() *UF {
 	c := &UF{
 		parent: make([]int32, len(u.parent)),
@@ -85,8 +155,9 @@ func (u *UF) Clone() *UF {
 	return c
 }
 
-// CloneInto copies u's state into dst, which must have the same universe
-// size; dst's allocations are reused.
+// CloneInto copies u's current partition into dst, which must have the
+// same universe size; dst's allocations are reused. Like Clone, it leaves
+// dst in compressing mode with an empty undo log.
 func (u *UF) CloneInto(dst *UF) {
 	if len(dst.parent) != len(u.parent) {
 		panic("unionfind: CloneInto size mismatch")
@@ -94,15 +165,20 @@ func (u *UF) CloneInto(dst *UF) {
 	copy(dst.parent, u.parent)
 	copy(dst.size, u.size)
 	dst.sets = u.sets
+	dst.undoable = false
+	dst.undo = dst.undo[:0]
 }
 
-// Reset restores the forest to n singleton sets without reallocating.
+// Reset restores the forest to n singleton sets without reallocating,
+// returning it to compressing mode and discarding the undo log.
 func (u *UF) Reset() {
 	for i := range u.parent {
 		u.parent[i] = int32(i)
 		u.size[i] = 1
 	}
 	u.sets = len(u.parent)
+	u.undoable = false
+	u.undo = u.undo[:0]
 }
 
 // Clusters groups the universe by set and returns each set's members.

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Runs the labeling / deduction-core / world-enumeration benchmarks and
+# writes BENCH_core.json (ns/op, B/op, allocs/op, and custom metrics per
+# benchmark) so the perf trajectory can be compared across PRs.
+#
+# Usage: scripts/bench.sh [count]
+#   count  -count passed to `go test` (default 1)
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-1}"
+PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson >BENCH_core.json
+
+echo "wrote BENCH_core.json" >&2

@@ -317,7 +317,9 @@ func BenchmarkAblationIncremental(b *testing.B) {
 }
 
 // BenchmarkAblationBlocking compares inverted-index candidate generation
-// against the exhaustive scorer.
+// against the exhaustive scorer (IndexCandidates, not the auto-routed
+// Candidates, so the blocking win is measured separately from the
+// prefix-filter win).
 func BenchmarkAblationBlocking(b *testing.B) {
 	cfg := dataset.DefaultAbtBuyConfig()
 	cfg.AbtRecords, cfg.BuyRecords = 400, 420
@@ -325,7 +327,7 @@ func BenchmarkAblationBlocking(b *testing.B) {
 	s := candgen.NewScorer(d, candgen.Unweighted)
 	b.Run("blocked", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := candgen.Candidates(d, s, 0.3); err != nil {
+			if _, err := candgen.IndexCandidates(d, s, 0.3); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -339,8 +341,9 @@ func BenchmarkAblationBlocking(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationPrefixFilter compares the three candidate generators:
-// exhaustive scoring, full token index, and prefix filtering.
+// BenchmarkAblationPrefixFilter compares the candidate generators the
+// Candidates dispatcher routes between: the full token index (the routing
+// fallback, and PR 1's default path) and prefix filtering (the default).
 func BenchmarkAblationPrefixFilter(b *testing.B) {
 	e := benchEnv(b)
 	d := e.Paper.Dataset
@@ -348,7 +351,7 @@ func BenchmarkAblationPrefixFilter(b *testing.B) {
 	for _, th := range []float64{0.3, 0.5} {
 		b.Run(benchName("full-index@", int(th*10)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := candgen.Candidates(d, s, th); err != nil {
+				if _, err := candgen.IndexCandidates(d, s, th); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -360,6 +363,70 @@ func BenchmarkAblationPrefixFilter(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Candidate-generation benchmarks (tracked in BENCH_core.json) -------
+//
+// BenchmarkCandidates pins the default auto-routed path on the Paper-scale
+// dataset; the *Prefix* variants pin each prefix route, and *FullIndex*
+// keeps PR 1's default path measurable for the trajectory comparison.
+
+const benchCandThreshold = 0.3
+
+func BenchmarkCandidates(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	s := candgen.NewScorer(d, candgen.Unweighted)
+	var n int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := candgen.Candidates(d, s, benchCandThreshold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(pairs)
+	}
+	b.ReportMetric(float64(n), "pairs")
+}
+
+func BenchmarkCandidatesPrefixUnweighted(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	s := candgen.NewScorer(d, candgen.Unweighted)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := candgen.PrefixCandidates(d, s, benchCandThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidatesPrefixWeighted(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	s := candgen.NewScorer(d, candgen.IDFWeighted)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := candgen.WeightedPrefixCandidates(d, s, benchCandThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidatesFullIndex(b *testing.B) {
+	e := benchEnv(b)
+	d := e.Paper.Dataset
+	s := candgen.NewScorer(d, candgen.Unweighted)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := candgen.IndexCandidates(d, s, benchCandThreshold); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

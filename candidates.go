@@ -37,12 +37,14 @@ func (m Matcher) candidates(d *dataset.Dataset) ([]Pair, error) {
 	if m.Threshold <= 0 || m.Threshold > 1 {
 		return nil, fmt.Errorf("crowdjoin: Matcher.Threshold %v outside (0,1]", m.Threshold)
 	}
+	w := candgen.Unweighted
 	if m.UseIDF {
-		return candgen.Candidates(d, candgen.NewScorer(d, candgen.IDFWeighted), m.Threshold)
+		w = candgen.IDFWeighted
 	}
-	// Plain Jaccard admits prefix filtering, which returns the identical
-	// candidate set faster (see TestPrefixMatchesFullIndex).
-	return candgen.PrefixCandidates(d, candgen.NewScorer(d, candgen.Unweighted), m.Threshold)
+	// Candidates auto-routes to prefix filtering (weighted or unweighted)
+	// whenever the threshold admits it; all routes return identical results
+	// (see TestCandidatePathsAgreeOnRandomDatasets).
+	return candgen.Candidates(d, candgen.NewScorer(d, w), m.Threshold)
 }
 
 // Similarity returns the likelihood the matcher assigns to two texts.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig10|fig11|fig12|fig13|fig14|fig15|table1|table2|extbudget|ext1to1] [-small] [-seed N]
+//	experiments [-exp all|fig10|fig11|fig12|fig13|fig14|fig15|table1|table2|extbudget|ext1to1] [-small] [-idf] [-seed N]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -16,18 +16,23 @@ import (
 	"strings"
 	"time"
 
+	"crowdjoin/internal/candgen"
 	"crowdjoin/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig10..fig15, table1, table2")
 	small := flag.Bool("small", false, "use the reduced-scale configuration (fast smoke run)")
+	idf := flag.Bool("idf", false, "score candidates with IDF-weighted Jaccard (exercises the weighted prefix filter)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *small {
 		cfg = experiments.SmallConfig()
+	}
+	if *idf {
+		cfg.Weighting = candgen.IDFWeighted
 	}
 	cfg.Seed = *seed
 

@@ -127,14 +127,21 @@ func NewSimulatedCrowd(oracle Oracle, policy SelectionPolicy, rng *rand.Rand) Pl
 
 // Clusters returns the entity clusters implied by the matching labels:
 // connected components over numObjects objects. Labels are indexed by
-// Pair.ID. Objects appear in increasing order; clusters are ordered by
-// smallest member.
+// Pair.ID; a pair whose ID or object ids fall outside [0,len(labels)) or
+// [0,numObjects) is reported as an error rather than a panic. Objects
+// appear in increasing order; clusters are ordered by smallest member.
 func Clusters(numObjects int, pairs []Pair, labels []Label) ([][]int32, error) {
 	if len(labels) < len(pairs) {
 		return nil, fmt.Errorf("crowdjoin: %d labels for %d pairs", len(labels), len(pairs))
 	}
 	g := clustergraph.New(numObjects)
 	for _, p := range pairs {
+		if p.ID < 0 || p.ID >= len(labels) {
+			return nil, fmt.Errorf("crowdjoin: pair (%d,%d) has ID %d outside [0,%d)", p.A, p.B, p.ID, len(labels))
+		}
+		if p.A < 0 || int(p.A) >= numObjects || p.B < 0 || int(p.B) >= numObjects {
+			return nil, fmt.Errorf("crowdjoin: pair %d references object outside [0,%d)", p.ID, numObjects)
+		}
 		if labels[p.ID] == Matching {
 			// ForceInsert: conflicting crowd labels collapse rather than
 			// error; positive labels win for clustering purposes.

@@ -247,3 +247,33 @@ func TestClustersLabelLengthValidation(t *testing.T) {
 		t.Error("short labels accepted")
 	}
 }
+
+// TestClustersRejectsOutOfRangePairIDs: caller-supplied pairs with non-dense
+// or out-of-range IDs (or object ids) must produce an error, not an
+// out-of-range panic on the labels slice.
+func TestClustersRejectsOutOfRangePairIDs(t *testing.T) {
+	labels := []crowdjoin.Label{crowdjoin.Matching, crowdjoin.Matching}
+	cases := []struct {
+		name  string
+		pairs []crowdjoin.Pair
+	}{
+		{"ID beyond labels", []crowdjoin.Pair{{ID: 7, A: 0, B: 1, Likelihood: 0.9}}},
+		{"negative ID", []crowdjoin.Pair{{ID: -1, A: 0, B: 1, Likelihood: 0.9}}},
+		{"object beyond numObjects", []crowdjoin.Pair{{ID: 0, A: 0, B: 9, Likelihood: 0.9}}},
+		{"negative object", []crowdjoin.Pair{{ID: 0, A: -2, B: 1, Likelihood: 0.9}}},
+	}
+	for _, tc := range cases {
+		if _, err := crowdjoin.Clusters(3, tc.pairs, labels); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Sparse but in-range IDs are legal: labels may cover a superset.
+	pairs := []crowdjoin.Pair{{ID: 1, A: 0, B: 1, Likelihood: 0.9}}
+	clusters, err := crowdjoin.Clusters(3, pairs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v, want {{0,1},{2}}", clusters)
+	}
+}

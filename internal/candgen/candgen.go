@@ -3,9 +3,41 @@
 // likelihood for record pairs via string similarity and keeps only the pairs
 // above a likelihood threshold as the candidate set handed to the crowd.
 //
-// Records are pre-tokenized into sorted integer token ids so the similarity
-// of a pair costs one linear merge; a token inverted index (blocking) skips
-// pairs that share no token, which is lossless for any positive threshold.
+// Records are pre-tokenized into sorted integer token ids laid out in one
+// contiguous CSR-style arena (offsets + flat token slice), so the similarity
+// of a pair costs one cache-friendly linear merge.
+//
+// Candidate pairs must share at least one token: a record that tokenizes to
+// nothing never forms candidates on any path (including the exhaustive
+// reference), even though Similarity degenerately reports 1 for two empty
+// token sets.
+//
+// # Candidate generation paths and routing
+//
+// Candidates is the entry point and auto-routes between three equivalent
+// generators — every path returns the byte-identical pair set (same pairs,
+// same likelihoods, same order, same dense IDs):
+//
+//   - Prefix filtering (PrefixCandidates, WeightedPrefixCandidates): the
+//     default whenever minThreshold ≥ 0.05. Tokens are ordered globally from
+//     rare to frequent; only a prefix of each record is indexed and probed,
+//     and records whose sizes (or IDF weight totals) are too far apart are
+//     skipped before any merge. The probe loop is sharded across
+//     GOMAXPROCS workers with deterministic merging.
+//   - Full token index (IndexCandidates): used below the routing threshold,
+//     where prefixes degenerate to whole token lists and the global
+//     rarity sort is pure overhead. Lossless for any positive threshold.
+//   - Exhaustive scoring (ExhaustiveCandidates): scores the whole pair
+//     universe; the correctness reference and blocking-ablation baseline.
+//
+// The unweighted prefix bound is the classic one: a pair can reach Jaccard
+// ≥ t only if the records share a token among their first
+// |x| − ⌈t·|x|⌉ + 1 rare-first tokens and |x|, |y| are within a factor t.
+// The IDF-weighted bound generalizes it by replacing set sizes with
+// per-record weight totals W(x) = Σ idf(tok): weighted Jaccard ≥ t implies
+// w(x∩y) ≥ t·max(W(x), W(y)), so each record's prefix extends until the
+// weight remaining after it can no longer reach t·W(x), and the size filter
+// becomes min(W(x), W(y)) ≥ t·max(W(x), W(y)).
 package candgen
 
 import (
@@ -14,6 +46,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"crowdjoin/internal/core"
 	"crowdjoin/internal/dataset"
@@ -31,24 +64,53 @@ const (
 	IDFWeighted
 )
 
+// prefixRoutingThreshold is the smallest threshold Candidates routes to the
+// prefix-filtering path. Below it a record's filter prefix is (nearly) its
+// whole token list, so the rare-first sort buys nothing over the plain
+// token index.
+const prefixRoutingThreshold = 0.05
+
+// boundSlack pads the floating-point filter bounds (size ratio, prefix
+// length, merge early-exit) so rounding can only make them more permissive:
+// a pair on the exact threshold boundary is always verified, never dropped.
+// The final acceptance test is the exact Similarity comparison.
+const boundSlack = 1e-9
+
 // Scorer computes pair likelihoods for one dataset.
 type Scorer struct {
-	tokens    [][]int32 // sorted distinct token ids per record
+	// arena holds every record's sorted distinct token ids back to back;
+	// record r's tokens are arena[offs[r]:offs[r+1]].
+	arena []int32
+	offs  []int32
+	// rankArena mirrors arena with each record's tokens sorted rare-first
+	// (global df order; see tokenRanks) — the order prefix filtering
+	// needs. It is threshold-independent, so it is built once, lazily on
+	// the first prefix-path use (ensureRankArena): scorers that only score
+	// pairs or run the full index never pay for it.
+	rankOnce  sync.Once
+	rankArena []int32
+	// numTokens is the distinct-token count, cached at build time.
+	numTokens int
+	// df is the per-token document frequency, counted during tokenization
+	// and shared with the prefix filter's rarity order.
+	df        []int32
 	idf       []float64 // per token id; nil for Unweighted
+	recWeight []float64 // per-record Σ idf; nil for Unweighted
 	weighting Weighting
 }
 
 // NewScorer tokenizes every record of d and prepares similarity state.
 func NewScorer(d *dataset.Dataset, w Weighting) *Scorer {
 	dict := make(map[string]int32)
-	df := []int{}
 	s := &Scorer{
-		tokens:    make([][]int32, d.Len()),
+		offs:      make([]int32, 1, d.Len()+1),
 		weighting: w,
 	}
+	var df []int32
+	var ids []int32
 	for i := range d.Records {
 		toks := similarity.TokenSet(d.Records[i].Text())
-		ids := make([]int32, 0, len(toks))
+		ids = ids[:0]
 		for _, t := range toks {
 			id, ok := dict[t]
 			if !ok {
@@ -61,41 +123,72 @@ func NewScorer(d *dataset.Dataset, w Weighting) *Scorer {
 		// Token ids are assigned in first-seen order, so they are not
 		// guaranteed sorted; the merge-based similarity needs them sorted.
 		slices.Sort(ids)
-		s.tokens[i] = ids
+		s.arena = append(s.arena, ids...)
+		if len(s.arena) > math.MaxInt32 {
+			// The CSR offsets are int32; a >2^31-token corpus needs a
+			// different layout, not a silent wraparound.
+			panic("candgen: token arena exceeds int32 offset range")
+		}
+		s.offs = append(s.offs, int32(len(s.arena)))
 		for _, id := range ids {
 			df[id]++
 		}
 	}
+	s.numTokens = len(dict)
+	s.df = df
 	if w == IDFWeighted {
 		s.idf = make([]float64, len(df))
 		n := float64(d.Len())
 		for id, f := range df {
 			s.idf[id] = math.Log(1 + n/float64(1+f))
 		}
+		s.recWeight = make([]float64, d.Len())
+		for r := range s.recWeight {
+			var total float64
+			for _, id := range s.tok(int32(r)) {
+				total += s.idf[id]
+			}
+			s.recWeight[r] = total
+		}
 	}
 	return s
 }
 
-// NumTokens returns the record count of the scorer's token table (for
-// inverted-index sizing).
-func (s *Scorer) NumTokens() int {
-	if s.idf != nil {
-		return len(s.idf)
-	}
-	max := int32(-1)
-	for _, ids := range s.tokens {
-		for _, id := range ids {
-			if id > max {
-				max = id
-			}
+// tok returns record r's sorted distinct token ids (a view into the arena).
+func (s *Scorer) tok(r int32) []int32 { return s.arena[s.offs[r]:s.offs[r+1]] }
+
+// rankTok returns record r's token ids sorted rare-first (a view into the
+// rank arena; ensureRankArena must have run).
+func (s *Scorer) rankTok(r int32) []int32 { return s.rankArena[s.offs[r]:s.offs[r+1]] }
+
+// ensureRankArena builds the rare-first token arena on first use. The
+// sync.Once keeps concurrent candidate generation over a shared scorer
+// safe.
+func (s *Scorer) ensureRankArena() {
+	s.rankOnce.Do(func() {
+		rank := s.tokenRanks()
+		s.rankArena = slices.Clone(s.arena)
+		for r := 0; r < s.numRecords(); r++ {
+			slices.SortFunc(s.rankTok(int32(r)), func(a, b int32) int {
+				return cmp.Compare(rank[a], rank[b])
+			})
 		}
-	}
-	return int(max + 1)
+	})
 }
+
+// size returns record r's distinct token count.
+func (s *Scorer) size(r int32) int { return int(s.offs[r+1] - s.offs[r]) }
+
+// numRecords returns the number of records the scorer was built over.
+func (s *Scorer) numRecords() int { return len(s.offs) - 1 }
+
+// NumTokens returns the distinct-token count of the scorer's token table
+// (for inverted-index sizing). Cached at build time.
+func (s *Scorer) NumTokens() int { return s.numTokens }
 
 // Similarity returns the likelihood that records a and b match, in [0,1].
 func (s *Scorer) Similarity(a, b int32) float64 {
-	ta, tb := s.tokens[a], s.tokens[b]
+	ta, tb := s.tok(a), s.tok(b)
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
@@ -153,76 +246,54 @@ func (s *Scorer) Similarity(a, b int32) float64 {
 // least minThreshold, sorted by likelihood descending (ties by object ids),
 // with dense pair IDs assigned in that order. minThreshold must be positive:
 // the inverted index only reaches pairs sharing a token.
+//
+// Candidates is a dispatcher: thresholds ≥ 0.05 route to prefix filtering
+// (weighted or unweighted to match the scorer), lower thresholds to the
+// full token index. All routes return identical results; see the package
+// comment for the routing rules.
 func Candidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
 	}
-	var pairs []core.Pair
-	emit := func(a, b int32) {
-		if a > b {
-			a, b = b, a // normalize so A < B regardless of probe direction
+	if minThreshold >= prefixRoutingThreshold {
+		if s.weighting == IDFWeighted {
+			return WeightedPrefixCandidates(d, s, minThreshold)
 		}
-		if sim := s.Similarity(a, b); sim >= minThreshold {
-			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})
-		}
+		return PrefixCandidates(d, s, minThreshold)
 	}
-	if d.Bipartite {
-		// Inverted index over the smaller side, probe with the larger.
-		probe, build := d.SourceA, d.SourceB
-		if len(probe) < len(build) {
-			probe, build = build, probe
-		}
-		index := buildIndex(s, build)
-		seen := make([]int32, d.Len()) // last probe id that touched a build record, +1
-		for pi, a := range probe {
-			mark := int32(pi + 1)
-			for _, tok := range s.tokens[a] {
-				for _, b := range index[tok] {
-					if seen[b] == mark {
-						continue
-					}
-					seen[b] = mark
-					emit(a, b)
-				}
-			}
-		}
-	} else {
-		index := buildIndex(s, nil)
-		seen := make([]int32, d.Len())
-		for a := int32(0); a < int32(d.Len()); a++ {
-			mark := a + 1
-			for _, tok := range s.tokens[a] {
-				for _, b := range index[tok] {
-					if b >= a { // each unordered pair once; index is in id order
-						break
-					}
-					if seen[b] == mark {
-						continue
-					}
-					seen[b] = mark
-					emit(a, b)
-				}
-			}
-		}
-	}
-	SortByLikelihood(pairs)
-	for i := range pairs {
-		pairs[i].ID = i
-	}
-	return pairs, nil
+	return IndexCandidates(d, s, minThreshold)
 }
 
-// buildIndex returns token id → record ids (ascending). With ids == nil it
+// IndexCandidates computes the candidate set with a full token inverted
+// index (no prefix truncation): every pair sharing at least one token is
+// verified. It is the routing fallback for near-zero thresholds and the
+// baseline the prefix-filter ablation compares against. Structurally it is
+// the prefix join with every record's "prefix" being its whole token list,
+// which shares the sharded probe loop and postings builder.
+func IndexCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
+	if minThreshold <= 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
+	}
+	verify := func(a, b int32) (float64, bool) {
+		sim := s.Similarity(a, b)
+		return sim, sim >= minThreshold
+	}
+	return prefixJoin(d, s, s.fullTokenSet(), verify), nil
+}
+
+// buildPostings returns token id → record ids (ascending), taking each
+// record's indexable tokens from tokensOf (the full token list for the
+// plain index, the filter prefix for prefix filtering). With ids == nil it
 // indexes every record.
-func buildIndex(s *Scorer, ids []int32) [][]int32 {
-	index := make([][]int32, s.NumTokens())
+func buildPostings(numTokens, numRecords int, ids []int32, tokensOf func(int32) []int32) [][]int32 {
+	index := make([][]int32, numTokens)
 	add := func(r int32) {
-		for _, tok := range s.tokens[r] {
+		for _, tok := range tokensOf(r) {
 			index[tok] = append(index[tok], r)
 		}
 	}
 	if ids == nil {
-		for r := int32(0); r < int32(len(s.tokens)); r++ {
+		for r := int32(0); r < int32(numRecords); r++ {
 			add(r)
 		}
 	} else {
@@ -262,9 +333,13 @@ func ForThreshold(master []core.Pair, threshold float64) []core.Pair {
 	return out
 }
 
-// ExhaustiveCandidates computes the same result as Candidates without the
-// inverted index, scoring every pair of the universe. It exists as the
-// correctness reference and the blocking ablation baseline.
+// ExhaustiveCandidates computes the same result as Candidates without any
+// index, scoring every pair of the universe. It exists as the correctness
+// reference and the blocking ablation baseline.
+//
+// Like every indexed path it honors the shared-token contract: a pair of
+// records that both tokenize to nothing shares no token and is never a
+// candidate, even though Similarity reports 1 for it.
 func ExhaustiveCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
@@ -273,6 +348,9 @@ func ExhaustiveCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) (
 	emit := func(a, b int32) {
 		if a > b {
 			a, b = b, a
+		}
+		if s.size(a) == 0 && s.size(b) == 0 {
+			return // no shared token; Similarity's degenerate 1 is not a candidate
 		}
 		if sim := s.Similarity(a, b); sim >= minThreshold {
 			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})

@@ -1,0 +1,83 @@
+package candgen
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"crowdjoin/internal/core"
+)
+
+// minProbesPerShard keeps tiny probe sets on one goroutine: below this the
+// per-shard seen-scratch allocation outweighs the parallel win.
+const minProbesPerShard = 256
+
+// shardStart returns the probe index where shard w of `workers` begins.
+// Bipartite probes get equal-count shards. Unipartite probes scan only
+// partners b < a, so per-record work grows roughly linearly with the probe
+// position — equal-count shards would leave the last shard with most of
+// the triangular workload; √-spaced boundaries give each shard equal area
+// instead. Boundaries only repartition the probe list, so results are
+// unchanged.
+func shardStart(w, workers, n int, uni bool) int {
+	if !uni {
+		return w * n / workers
+	}
+	return int(math.Round(float64(n) * math.Sqrt(float64(w)/float64(workers))))
+}
+
+// probeWorkers returns how many shards to probe numProbes records with:
+// GOMAXPROCS workers, shrunk so every shard keeps at least
+// minProbesPerShard probes. Unipartite shards are √-spaced (see
+// shardStart), making the smallest (last) shard about numProbes/(2·workers)
+// records, so the unipartite divisor is doubled to keep the floor honest.
+func probeWorkers(numProbes int, uni bool) int {
+	workers := runtime.GOMAXPROCS(0)
+	byLoad := numProbes / minProbesPerShard
+	if uni {
+		byLoad = numProbes / (2 * minProbesPerShard)
+	}
+	if workers > byLoad {
+		workers = byLoad
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// probeShards splits the probe list into `workers` contiguous shards, scans
+// them concurrently (each shard with its own seen scratch and pair buffer),
+// and concatenates the shard buffers in shard order. The concatenation
+// order is deterministic, and the caller's final SortByLikelihood imposes a
+// total order on pairs anyway — so results are byte-identical to a serial
+// scan regardless of scheduling.
+func probeShards(numRecords int, ps *prefixSet, index [][]int32, probe []int32, uni bool, verify verifier, workers int) []core.Pair {
+	if workers <= 1 || len(probe) < 2 {
+		return probeShard(ps, index, probe, uni, make([]int32, numRecords), verify, nil)
+	}
+	if workers > len(probe) {
+		workers = len(probe)
+	}
+	results := make([][]core.Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := shardStart(w, workers, len(probe), uni)
+		hi := shardStart(w+1, workers, len(probe), uni)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = probeShard(ps, index, probe[lo:hi], uni, make([]int32, numRecords), verify, nil)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]core.Pair, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -10,16 +10,209 @@ import (
 	"crowdjoin/internal/dataset"
 )
 
+// This file holds the prefix-filtering machinery shared by the unweighted
+// and IDF-weighted paths, plus the unweighted entry point. The classic
+// set-similarity-join optimization: order all tokens globally from rare to
+// frequent; a pair can reach similarity ≥ t only if the two records share a
+// token within a threshold-derived prefix of that order, and only if their
+// sizes (weight totals) are close enough. Indexing and probing only
+// prefixes skips most low-overlap pairs a full token index touches — in
+// particular the pairs that share nothing but ubiquitous tokens, whose
+// posting lists dominate the full index's probe volume.
+
+// prefixSet holds every record's filter-prefix length over a token arena:
+// the scorer's rank arena for the prefix-filter paths (tokens sorted
+// rare-first, built lazily once by ensureRankArena since the order is
+// threshold-independent — only the truncation length depends on the
+// threshold), or the plain id-ordered arena with full lengths for the
+// full-index path (fullTokenSet), which needs no rarity order.
+type prefixSet struct {
+	s     *Scorer
+	arena []int32
+	plen  []int32
+}
+
+// prefix returns record r's filter-prefix tokens.
+func (p *prefixSet) prefix(r int32) []int32 {
+	off := p.s.offs[r]
+	return p.arena[off : off+p.plen[r]]
+}
+
+// fullTokenSet returns a prefixSet whose "prefixes" are whole token lists
+// in plain id order, turning the prefix join into the full-index join.
+func (s *Scorer) fullTokenSet() *prefixSet {
+	ps := &prefixSet{s: s, arena: s.arena, plen: make([]int32, s.numRecords())}
+	for r := range ps.plen {
+		ps.plen[r] = s.offs[r+1] - s.offs[r]
+	}
+	return ps
+}
+
+// tokenRanks returns each token id's position in the global rare-first
+// order (document frequency ascending, ties by id for determinism). The
+// document frequencies were counted once during tokenization.
+func (s *Scorer) tokenRanks() []int32 {
+	byRarity := make([]int32, s.numTokens)
+	for i := range byRarity {
+		byRarity[i] = int32(i)
+	}
+	slices.SortFunc(byRarity, func(a, b int32) int {
+		if c := cmp.Compare(s.df[a], s.df[b]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	rank := make([]int32, s.numTokens)
+	for pos, id := range byRarity {
+		rank[id] = int32(pos)
+	}
+	return rank
+}
+
+// buildPrefixes truncates every record's rare-first token list with
+// prefixLen, which receives the rank-sorted token list and returns how
+// many leading tokens form the record's filter prefix (≥ 1 for non-empty
+// records).
+func buildPrefixes(s *Scorer, prefixLen func(r int32, sorted []int32) int) *prefixSet {
+	s.ensureRankArena()
+	ps := &prefixSet{s: s, arena: s.rankArena, plen: make([]int32, s.numRecords())}
+	for r := int32(0); r < int32(s.numRecords()); r++ {
+		if sorted := s.rankTok(r); len(sorted) > 0 {
+			ps.plen[r] = int32(prefixLen(r, sorted))
+		}
+	}
+	return ps
+}
+
+// verifier checks one candidate pair (a < b): it applies the size filter
+// and, when the pair's exact similarity reaches the threshold, returns it.
+type verifier func(a, b int32) (float64, bool)
+
+// prefixJoin runs the prefix-filtered join: it builds the prefix index
+// (over the smaller side for bipartite datasets), probes it with every
+// record's prefix, verifies each distinct candidate pair once, and returns
+// the result sorted by likelihood with dense IDs. The probe loop is sharded
+// across GOMAXPROCS workers (see parallel.go).
+func prefixJoin(d *dataset.Dataset, s *Scorer, ps *prefixSet, verify verifier) []core.Pair {
+	var pairs []core.Pair
+	if d.Bipartite {
+		probe, build := d.SourceA, d.SourceB
+		if len(probe) < len(build) {
+			probe, build = build, probe
+		}
+		index := buildPostings(s.numTokens, s.numRecords(), build, ps.prefix)
+		pairs = probeShards(d.Len(), ps, index, probe, false, verify, probeWorkers(len(probe), false))
+	} else {
+		index := buildPostings(s.numTokens, s.numRecords(), nil, ps.prefix)
+		probe := make([]int32, d.Len())
+		for i := range probe {
+			probe[i] = int32(i)
+		}
+		pairs = probeShards(d.Len(), ps, index, probe, true, verify, probeWorkers(len(probe), true))
+	}
+	SortByLikelihood(pairs)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	return pairs
+}
+
+// probeShard scans the probe records against the prefix index, verifying
+// each distinct candidate pair once per probe record. In unipartite mode
+// only partners b < a are considered (posting lists are ascending, so the
+// scan breaks at the first b ≥ a), giving each unordered pair exactly one
+// probing side. seen must be a zeroed (or shard-private) d.Len()-sized
+// scratch slice.
+func probeShard(ps *prefixSet, index [][]int32, probe []int32, uni bool, seen []int32, verify verifier, out []core.Pair) []core.Pair {
+	for pi, a := range probe {
+		mark := int32(pi + 1)
+		for _, tok := range ps.prefix(a) {
+			for _, b := range index[tok] {
+				if uni && b >= a {
+					break
+				}
+				if seen[b] == mark {
+					continue
+				}
+				seen[b] = mark
+				x, y := a, b
+				if x > y {
+					x, y = y, x // normalize so A < B regardless of probe direction
+				}
+				if sim, ok := verify(x, y); ok {
+					out = append(out, core.Pair{A: x, B: y, Likelihood: sim})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unweightedPrefixLen returns the filter-prefix length for a record of n
+// tokens at threshold t: n − ⌈t·n⌉ + 1, clamped to [1, n]. boundSlack keeps
+// float rounding from shortening the prefix at exact boundaries.
+func unweightedPrefixLen(n int, t float64) int {
+	plen := n - int(math.Ceil(t*float64(n)-boundSlack)) + 1
+	if plen < 1 {
+		plen = 1
+	}
+	if plen > n {
+		plen = n
+	}
+	return plen
+}
+
+// verifyJaccard applies the size filter and computes the exact Jaccard
+// similarity of (a, b) with merge early-exit: the merge aborts as soon as
+// the intersection can no longer reach t·|a∪b|. The returned similarity is
+// the identical expression Similarity computes, so accepted pairs carry
+// byte-identical likelihoods.
+func (s *Scorer) verifyJaccard(a, b int32, t float64) (float64, bool) {
+	ta, tb := s.tok(a), s.tok(b)
+	la, lb := len(ta), len(tb)
+	if float64(la) < t*float64(lb)-boundSlack || float64(lb) < t*float64(la)-boundSlack {
+		return 0, false
+	}
+	// Jaccard ≥ t ⟺ inter ≥ ⌈t·(la+lb)/(1+t)⌉ =: minInter. Each side can
+	// skip at most len−minInter tokens before the intersection becomes
+	// unreachable, so the merge pays for the bound only on mismatches: one
+	// integer decrement and sign check.
+	minInter := int(math.Ceil(t*float64(la+lb)/(1+t) - boundSlack))
+	budgetA, budgetB := la-minInter, lb-minInter
+	inter := 0
+	i, j := 0, 0
+	for i < la && j < lb {
+		switch {
+		case ta[i] == tb[j]:
+			inter++
+			i++
+			j++
+		case ta[i] < tb[j]:
+			i++
+			budgetA--
+			if budgetA < 0 {
+				return 0, false
+			}
+		default:
+			j++
+			budgetB--
+			if budgetB < 0 {
+				return 0, false
+			}
+		}
+	}
+	union := la + lb - inter
+	if union == 0 {
+		return 1, 1 >= t
+	}
+	sim := float64(inter) / float64(union)
+	return sim, sim >= t
+}
+
 // PrefixCandidates computes the same result as Candidates for Unweighted
-// scorers using prefix filtering (the classic set-similarity-join
-// optimization): order all tokens globally from rare to frequent; a pair
-// can reach Jaccard ≥ t only if the two records share a token within their
-// first |x| − ⌈t·|x|⌉ + 1 tokens of that order, and only if their set
-// sizes are within a factor t of each other. Indexing and probing only
-// prefixes skips most of the low-overlap pairs a full token index touches.
-//
-// IDF-weighted scorers need a different bound; PrefixCandidates rejects
-// them rather than silently losing pairs.
+// scorers using prefix filtering. IDF-weighted scorers need the weighted
+// bound; PrefixCandidates rejects them rather than silently losing pairs —
+// use WeightedPrefixCandidates (or the Candidates dispatcher).
 func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
@@ -27,124 +220,9 @@ func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]co
 	if s.weighting != Unweighted {
 		return nil, fmt.Errorf("candgen: prefix filtering requires an unweighted scorer")
 	}
-
-	// Global rare-first token order; ties broken by id for determinism.
-	numTokens := s.NumTokens()
-	df := make([]int32, numTokens)
-	for _, ids := range s.tokens {
-		for _, id := range ids {
-			df[id]++
-		}
-	}
-	rank := make([]int32, numTokens)
-	byRarity := make([]int32, numTokens)
-	for i := range byRarity {
-		byRarity[i] = int32(i)
-	}
-	slices.SortFunc(byRarity, func(a, b int32) int {
-		if c := cmp.Compare(df[a], df[b]); c != 0 {
-			return c
-		}
-		return cmp.Compare(a, b)
+	ps := buildPrefixes(s, func(_ int32, sorted []int32) int {
+		return unweightedPrefixLen(len(sorted), minThreshold)
 	})
-	for pos, id := range byRarity {
-		rank[id] = int32(pos)
-	}
-
-	// Per record: tokens sorted rare-first, truncated to the prefix.
-	prefixes := make([][]int32, d.Len())
-	for r, ids := range s.tokens {
-		if len(ids) == 0 {
-			continue
-		}
-		sorted := slices.Clone(ids)
-		slices.SortFunc(sorted, func(a, b int32) int { return cmp.Compare(rank[a], rank[b]) })
-		plen := len(ids) - int(math.Ceil(minThreshold*float64(len(ids)))) + 1
-		if plen < 1 {
-			plen = 1
-		}
-		if plen > len(sorted) {
-			plen = len(sorted)
-		}
-		prefixes[r] = sorted[:plen]
-	}
-
-	lengthOK := func(a, b int32) bool {
-		la, lb := float64(len(s.tokens[a])), float64(len(s.tokens[b]))
-		return la >= minThreshold*lb && lb >= minThreshold*la
-	}
-
-	var pairs []core.Pair
-	emit := func(a, b int32) {
-		if a > b {
-			a, b = b, a
-		}
-		if sim := s.Similarity(a, b); sim >= minThreshold {
-			pairs = append(pairs, core.Pair{A: a, B: b, Likelihood: sim})
-		}
-	}
-	if d.Bipartite {
-		probe, build := d.SourceA, d.SourceB
-		if len(probe) < len(build) {
-			probe, build = build, probe
-		}
-		index := buildPrefixIndex(prefixes, numTokens, build)
-		seen := make([]int32, d.Len())
-		for pi, a := range probe {
-			mark := int32(pi + 1)
-			for _, tok := range prefixes[a] {
-				for _, b := range index[tok] {
-					if seen[b] == mark || !lengthOK(a, b) {
-						continue
-					}
-					seen[b] = mark
-					emit(a, b)
-				}
-			}
-		}
-	} else {
-		index := buildPrefixIndex(prefixes, numTokens, nil)
-		seen := make([]int32, d.Len())
-		for a := int32(0); a < int32(d.Len()); a++ {
-			mark := a + 1
-			for _, tok := range prefixes[a] {
-				for _, b := range index[tok] {
-					if b >= a {
-						break
-					}
-					if seen[b] == mark || !lengthOK(a, b) {
-						continue
-					}
-					seen[b] = mark
-					emit(a, b)
-				}
-			}
-		}
-	}
-	SortByLikelihood(pairs)
-	for i := range pairs {
-		pairs[i].ID = i
-	}
-	return pairs, nil
-}
-
-func buildPrefixIndex(prefixes [][]int32, numTokens int, ids []int32) [][]int32 {
-	index := make([][]int32, numTokens)
-	add := func(r int32) {
-		for _, tok := range prefixes[r] {
-			index[tok] = append(index[tok], r)
-		}
-	}
-	if ids == nil {
-		for r := int32(0); r < int32(len(prefixes)); r++ {
-			add(r)
-		}
-	} else {
-		sorted := slices.Clone(ids)
-		slices.Sort(sorted)
-		for _, r := range sorted {
-			add(r)
-		}
-	}
-	return index
+	verify := func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, minThreshold) }
+	return prefixJoin(d, s, ps, verify), nil
 }

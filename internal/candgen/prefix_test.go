@@ -8,11 +8,13 @@ import (
 
 // TestPrefixMatchesFullIndex: prefix filtering returns exactly the full
 // inverted index's candidates on both dataset shapes, across thresholds.
+// (Candidates itself now routes to the prefix path, so the reference here
+// is IndexCandidates, the un-truncated token index.)
 func TestPrefixMatchesFullIndex(t *testing.T) {
 	for _, d := range []*dataset.Dataset{smallCora(t), smallAbtBuy(t)} {
 		s := NewScorer(d, Unweighted)
 		for _, th := range []float64{0.2, 0.3, 0.5, 0.8} {
-			want, err := Candidates(d, s, th)
+			want, err := IndexCandidates(d, s, th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -73,5 +75,24 @@ func TestPrefixHighThreshold(t *testing.T) {
 	}
 	if len(got) != len(exhaustive) {
 		t.Fatalf("prefix found %d pairs, exhaustive %d", len(got), len(exhaustive))
+	}
+}
+
+func TestWeightedPrefixRejectsUnweightedScorer(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, Unweighted)
+	if _, err := WeightedPrefixCandidates(d, s, 0.3); err == nil {
+		t.Fatal("unweighted scorer accepted; the weighted bound needs IDF weight totals")
+	}
+}
+
+func TestWeightedPrefixThresholdValidation(t *testing.T) {
+	d := smallCora(t)
+	s := NewScorer(d, IDFWeighted)
+	if _, err := WeightedPrefixCandidates(d, s, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := WeightedPrefixCandidates(d, s, 1.2); err == nil {
+		t.Error("threshold > 1 accepted")
 	}
 }

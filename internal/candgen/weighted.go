@@ -1,0 +1,72 @@
+package candgen
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/dataset"
+)
+
+// WeightedPrefixCandidates computes the same result as Candidates for
+// IDF-weighted scorers using the weighted prefix bound. Per-record weight
+// totals W(x) = Σ idf(tok) replace set sizes:
+//
+//   - Size filter: weighted Jaccard w(x∩y)/w(x∪y) ≥ t implies
+//     w(x∩y) ≥ t·w(x∪y) ≥ t·max(W(x), W(y)) and w(x∩y) ≤ min(W(x), W(y)),
+//     so min(W(x), W(y)) ≥ t·max(W(x), W(y)).
+//   - Prefix: with all records' tokens in the same global rare-first order,
+//     record x's filter prefix extends until the weight remaining in its
+//     suffix drops below t·W(x). If a qualifying pair shared no token in
+//     either prefix, all shared weight would sit inside the shorter-ranked
+//     record's suffix — at most its suffix weight, which is < t·W(x) ≤
+//     t·w(x∪y) — contradicting w(x∩y) ≥ t·w(x∪y). So probing prefixes
+//     against a prefix index is lossless, exactly as in the unweighted
+//     case.
+//
+// Verification computes the exact weighted similarity via Similarity, so
+// results are byte-identical to ExhaustiveCandidates.
+func WeightedPrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
+	if minThreshold <= 0 || minThreshold > 1 {
+		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
+	}
+	if s.weighting != IDFWeighted {
+		return nil, fmt.Errorf("candgen: weighted prefix filtering requires an IDF-weighted scorer")
+	}
+	ps := buildPrefixes(s, func(r int32, sorted []int32) int {
+		return s.weightedPrefixLen(r, sorted, minThreshold)
+	})
+	verify := func(a, b int32) (float64, bool) {
+		wa, wb := s.recWeight[a], s.recWeight[b]
+		lo, hi := wa, wb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Slack scales with the weight magnitude: summation error of the
+		// weight totals grows with record size, so an absolute epsilon
+		// could under-cover huge records.
+		if lo < minThreshold*hi-boundSlack*(1+hi) {
+			return 0, false
+		}
+		sim := s.Similarity(a, b)
+		return sim, sim >= minThreshold
+	}
+	return prefixJoin(d, s, ps, verify), nil
+}
+
+// weightedPrefixLen returns how many leading tokens of the rank-sorted
+// token list form record r's filter prefix: the shortest prefix whose
+// remaining suffix weight can no longer reach t·W(r). The slack keeps
+// float rounding from shortening the prefix at exact boundaries; it scales
+// with the weight total because the accumulated summation error does too.
+func (s *Scorer) weightedPrefixLen(r int32, sorted []int32, t float64) int {
+	total := s.recWeight[r]
+	need := t*total - boundSlack*(1+total)
+	var acc float64
+	for i, id := range sorted {
+		acc += s.idf[id]
+		if total-acc < need {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}

@@ -368,3 +368,89 @@ func TestRunHITsSequentiallyDeterministic(t *testing.T) {
 		t.Errorf("equal-seed replays diverged: %v vs %v", a, b)
 	}
 }
+
+// TestRecruitTerminatesUnderTotalSpam: with every candidate a spammer and a
+// perfect qualification screen, recruiting used to redraw forever and
+// NewPlatform hung. The per-slot attempt cap hires the last failing draw
+// instead, so the pool still fills (with leaked spammers, as on the real
+// platform under heavy spam).
+func TestRecruitTerminatesUnderTotalSpam(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpammerFraction = 1
+	cfg.Qualification = true
+	cfg.QualificationCatchRate = 1
+	cfg.Workers = 5
+	p, err := NewPlatform(evenOddTruth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumWorkers(); got != cfg.Workers {
+		t.Fatalf("recruited %d workers, want %d", got, cfg.Workers)
+	}
+	for _, w := range p.workers {
+		if w.skill >= 0.9 {
+			t.Fatalf("worker %d has skill %v; total-spam pool should contain only spammers", w.id, w.skill)
+		}
+	}
+}
+
+// TestRecruitNearTotalSpam: the cap also bounds recruiting when the screen
+// almost always catches the (almost always spammer) candidates, and skilled
+// candidates still pass when drawn.
+func TestRecruitNearTotalSpam(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpammerFraction = 0.99
+	cfg.QualificationCatchRate = 0.999
+	cfg.Workers = 8
+	p, err := NewPlatform(evenOddTruth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumWorkers(); got != cfg.Workers {
+		t.Fatalf("recruited %d workers, want %d", got, cfg.Workers)
+	}
+}
+
+// TestPublishBufferCompacts: the batching buffer must not grow with the
+// total publish volume — draining full HITs compacts it in place, so a long
+// stream of ragged publishes keeps the backing array near BatchSize instead
+// of retaining every labeled prefix.
+func TestPublishBufferCompacts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpammerFraction = 0
+	p, err := NewPlatform(evenOddTruth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	chunk := cfg.BatchSize + 3 // ragged: every publish leaves a remainder
+	for i := 0; i < 200; i++ {
+		pairs := make([]core.Pair, chunk)
+		for j := range pairs {
+			pairs[j] = core.Pair{ID: next, A: int32(2 * next), B: int32(2*next + 1), Likelihood: 0.5}
+			next++
+		}
+		p.Publish(pairs)
+		if len(p.buffer) >= cfg.BatchSize {
+			t.Fatalf("publish %d: buffer holds %d pairs, want < BatchSize=%d", i, len(p.buffer), cfg.BatchSize)
+		}
+	}
+	if got, limit := cap(p.buffer), 4*(cfg.BatchSize+chunk); got > limit {
+		t.Fatalf("buffer capacity grew to %d after 200 ragged publishes (limit %d): consumed prefix retained", got, limit)
+	}
+	// Every published pair is still delivered exactly once.
+	seen := make(map[int]bool)
+	for {
+		pair, _, ok := p.NextLabel()
+		if !ok {
+			break
+		}
+		if seen[pair.ID] {
+			t.Fatalf("pair %d delivered twice", pair.ID)
+		}
+		seen[pair.ID] = true
+	}
+	if len(seen) != next {
+		t.Fatalf("delivered %d of %d published pairs", len(seen), next)
+	}
+}

@@ -85,35 +85,62 @@ func NewPlatform(truth func(a, b int32) bool, cfg Config) (*Platform, error) {
 	return p, nil
 }
 
+// maxQualificationAttempts caps how many candidate draws fill one pool
+// slot. After that many consecutive screen failures the last draw is hired
+// anyway, so recruiting terminates even when every candidate is a spammer
+// and the screen catches all of them (SpammerFraction and
+// QualificationCatchRate both 1).
+const maxQualificationAttempts = 32
+
 // recruitWorkers fills the pool, applying the qualification screen: skilled
 // workers always pass; spammers fail with QualificationCatchRate and are
-// replaced by a fresh draw (bounded attempts, so heavy spam still leaks
-// through a little, as on the real platform).
+// replaced by a fresh draw (bounded attempts per slot, so heavy spam still
+// leaks through a little, as on the real platform).
 func (p *Platform) recruitWorkers() {
 	for len(p.workers) < p.cfg.Workers {
-		skill := 1.0
-		if p.rng.Float64() < p.cfg.SpammerFraction {
-			skill = 0.35 + 0.2*p.rng.Float64()
-		}
-		if p.cfg.Qualification && skill < 0.9 && p.rng.Float64() < p.cfg.QualificationCatchRate {
-			continue // failed the three-pair screen
+		skill := p.drawSkill()
+		for attempt := 1; attempt < maxQualificationAttempts && p.failsScreen(skill); attempt++ {
+			skill = p.drawSkill() // failed the three-pair screen; redraw
 		}
 		p.workers = append(p.workers, &worker{id: len(p.workers), skill: skill, done: make(map[*hit]bool)})
 	}
+}
+
+// drawSkill samples one candidate worker's skill.
+func (p *Platform) drawSkill() float64 {
+	if p.rng.Float64() < p.cfg.SpammerFraction {
+		return 0.35 + 0.2*p.rng.Float64()
+	}
+	return 1.0
+}
+
+// failsScreen reports whether a candidate of the given skill fails the
+// qualification screen.
+func (p *Platform) failsScreen(skill float64) bool {
+	return p.cfg.Qualification && skill < 0.9 && p.rng.Float64() < p.cfg.QualificationCatchRate
 }
 
 // Publish implements core.Platform: pairs accumulate in the batching
 // buffer, and every full BatchSize chunk becomes a HIT immediately. A
 // trailing partial chunk stays buffered until more pairs arrive or the
 // platform runs out of other work (see NextLabel).
+//
+// The buffer is compacted in place after draining full chunks (instead of
+// re-slicing past them), so a long publish stream never pins the consumed
+// prefix of the backing array for the life of the run.
 func (p *Platform) Publish(ps []core.Pair) {
 	p.published += len(ps)
 	p.buffer = append(p.buffer, ps...)
-	for len(p.buffer) >= p.cfg.BatchSize {
+	consumed := 0
+	for len(p.buffer)-consumed >= p.cfg.BatchSize {
 		hitPairs := make([]core.Pair, p.cfg.BatchSize)
-		copy(hitPairs, p.buffer[:p.cfg.BatchSize])
-		p.buffer = p.buffer[p.cfg.BatchSize:]
+		copy(hitPairs, p.buffer[consumed:consumed+p.cfg.BatchSize])
+		consumed += p.cfg.BatchSize
 		p.publishHIT(hitPairs)
+	}
+	if consumed > 0 {
+		n := copy(p.buffer, p.buffer[consumed:])
+		p.buffer = p.buffer[:n]
 	}
 }
 

@@ -47,14 +47,16 @@ func (m Matcher) candidates(d *dataset.Dataset) ([]Pair, error) {
 	return candgen.Candidates(d, candgen.NewScorer(d, w), m.Threshold)
 }
 
-// Similarity returns the likelihood the matcher assigns to two texts.
+// Similarity returns the likelihood the matcher assigns to two texts. It
+// takes the lightweight two-record path (no dataset or scorer is built),
+// which computes the identical value to scoring the pair inside a
+// two-record corpus.
 func (m Matcher) Similarity(a, b string) float64 {
-	d := textsToDataset([]string{a, b}, nil)
 	w := candgen.Unweighted
 	if m.UseIDF {
 		w = candgen.IDFWeighted
 	}
-	return candgen.NewScorer(d, w).Similarity(0, 1)
+	return candgen.TextSimilarity(a, b, w)
 }
 
 // textsToDataset wraps raw texts in the internal dataset representation.

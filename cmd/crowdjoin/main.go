@@ -3,20 +3,31 @@
 // Usage:
 //
 //	crowdjoin -a records.txt [-b other.txt] [-threshold 0.3] [-idf]
-//	          [-crowd interactive|auto] [-truth truth.txt]
+//	          [-crowd interactive|auto] [-truth truth.txt] [-parallel]
+//	          [-budget n] [-guess 0.5] [-resume journal.log] [-trace]
 //
 // Records are one per line. With -b, the join is bipartite (pairs span the
 // two files); without it, the tool deduplicates -a. The crowd is either
 // you (-crowd interactive: answer y/n on stdin) or an automatic oracle
 // driven by -truth, a file assigning an entity key to each record (same
 // line order as the inputs, -a then -b).
+//
+// With -budget n, at most n pairs are crowdsourced and the rest fall back
+// to the machine guess (likelihood ≥ -guess → matching). With -resume, a
+// label journal is kept at the given path: every crowd answer is appended
+// as it arrives, and a rerun replays the journal instead of re-asking the
+// crowd — so an interrupted join continues where it stopped. Ctrl-C
+// cancels the join cleanly: the partial clusters found so far are still
+// printed (and, with -resume, nothing already answered is lost).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"crowdjoin"
@@ -30,6 +41,10 @@ func main() {
 	crowdMode := flag.String("crowd", "interactive", "crowd backend: interactive or auto")
 	truthFile := flag.String("truth", "", "entity key per record (required for -crowd auto)")
 	parallel := flag.Bool("parallel", false, "use the parallel labeler (batches of questions)")
+	budget := flag.Int("budget", -1, "crowdsource at most this many pairs, then guess (-1: unlimited)")
+	guess := flag.Float64("guess", 0.5, "guess matching at likelihood >= this once the budget is spent")
+	resume := flag.String("resume", "", "label-journal path: append answers and replay them on rerun")
+	trace := flag.Bool("trace", false, "stream per-pair progress events to stderr")
 	flag.Parse()
 
 	if *fileA == "" {
@@ -47,6 +62,14 @@ func main() {
 	}
 	texts := append(append([]string{}, a...), b...)
 
+	oracle, err := buildOracle(*crowdMode, *truthFile, texts)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Generate candidates up front so the user sees how much work lies
+	// ahead before the first question; the session then labels the
+	// precomputed set (in the default likelihood-descending order).
 	matcher := crowdjoin.Matcher{Threshold: *threshold, UseIDF: *idf}
 	var pairs []crowdjoin.Pair
 	if b == nil {
@@ -59,32 +82,72 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d records, %d candidate pairs above %.2f\n", len(texts), len(pairs), *threshold)
 
-	oracle, err := buildOracle(*crowdMode, *truthFile, texts)
+	opts := []crowdjoin.JoinOption{
+		crowdjoin.WithPairs(len(texts), pairs),
+		crowdjoin.WithOracle(oracle),
+	}
+	switch {
+	case *parallel && *budget >= 0:
+		fatal(fmt.Errorf("-parallel and -budget are mutually exclusive"))
+	case *parallel:
+		opts = append(opts, crowdjoin.WithStrategy(crowdjoin.ParallelStrategy))
+	case *budget >= 0:
+		opts = append(opts, crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(*budget, *guess)))
+	}
+	if *resume != "" {
+		f, err := os.OpenFile(*resume, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, crowdjoin.WithJournal(f))
+	}
+	if *trace {
+		opts = append(opts, crowdjoin.WithProgress(func(e crowdjoin.Event) {
+			switch e.Kind {
+			case crowdjoin.EventRoundPublished:
+				fmt.Fprintf(os.Stderr, "trace: round %d published (%d pairs)\n", e.Round, e.Size)
+			default:
+				fmt.Fprintf(os.Stderr, "trace: %v %v -> %v\n", e.Kind, e.Pair, e.Label)
+			}
+		}))
+	}
+
+	j, err := crowdjoin.NewJoin(opts...)
 	if err != nil {
 		fatal(err)
 	}
 
-	order := crowdjoin.ExpectedOrder(pairs)
-	var labels []crowdjoin.Label
-	var crowdsourced, deduced int
-	if *parallel {
-		res, err := crowdjoin.LabelParallel(len(texts), order, batchify(oracle))
-		if err != nil {
-			fatal(err)
-		}
-		labels, crowdsourced, deduced = res.Labels, res.NumCrowdsourced, res.NumDeduced
-	} else {
-		res, err := crowdjoin.LabelSequential(len(texts), order, oracle)
-		if err != nil {
-			fatal(err)
-		}
-		labels, crowdsourced, deduced = res.Labels, res.NumCrowdsourced, res.NumDeduced
-	}
-	fmt.Fprintf(os.Stderr, "crowdsourced %d pairs, deduced %d via transitive relations\n", crowdsourced, deduced)
-
-	clusters, err := crowdjoin.Clusters(len(texts), pairs, labels)
-	if err != nil {
+	// Ctrl-C cancels the context; the session comes back with a valid
+	// partial result (every deduction the collected answers imply is
+	// applied), so the clusters found so far are still printed. Once the
+	// context is cancelled the signal handler is released, so a second
+	// Ctrl-C force-quits even while the interactive oracle is blocked on
+	// stdin waiting for one last answer.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	res, err := j.Run(ctx)
+	if res == nil {
 		fatal(err)
+	}
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "interrupted (%v): printing the partial join\n", err)
+	} else if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crowdsourced %d pairs, deduced %d via transitive relations", res.NumCrowdsourced, res.NumDeduced)
+	if res.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, " (%d answers replayed from %s)", res.Replayed, *resume)
+	}
+	if res.NumGuessed > 0 {
+		fmt.Fprintf(os.Stderr, ", guessed %d from the machine likelihood", res.NumGuessed)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	clusters, cerr := res.Clusters()
+	if cerr != nil {
+		fatal(cerr)
 	}
 	for _, c := range clusters {
 		if len(c) < 2 {
@@ -136,16 +199,6 @@ func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, erro
 	default:
 		return nil, fmt.Errorf("unknown crowd mode %q", mode)
 	}
-}
-
-func batchify(o crowdjoin.Oracle) crowdjoin.BatchOracle {
-	return crowdjoin.BatchOracleFunc(func(ps []crowdjoin.Pair) []crowdjoin.Label {
-		out := make([]crowdjoin.Label, len(ps))
-		for i, p := range ps {
-			out[i] = o.Label(p)
-		}
-		return out
-	})
 }
 
 func readLines(path string) ([]string, error) {

@@ -22,15 +22,35 @@
 // deductions. OptimalOrder needs ground truth (an analysis tool);
 // ExpectedOrder — likelihood descending — is the practical heuristic.
 //
-// # Choosing a labeler
+// # The Join session
 //
-// LabelSequential asks one pair at a time — minimal crowd cost, maximal
-// latency.
-// LabelParallel identifies whole rounds of pairs that every outcome forces
-// to the crowd and asks them together. LabelOnPlatform streams against a
-// Platform (your crowdsourcing backend) and with instant=true republishes
-// the moment an answer makes new pairs mandatory; NewSimulatedCrowd and
-// NewAMTSimulator provide in-memory platforms for testing and simulation.
+// The whole pipeline lives behind one session type configured with
+// functional options:
+//
+//	j, err := crowdjoin.NewJoin(
+//	    crowdjoin.WithTexts(texts),
+//	    crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3}),
+//	    crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+//	    crowdjoin.WithOracle(crowd),
+//	)
+//	res, err := j.Run(ctx)
+//
+// WithStrategy picks the labeler: SequentialStrategy asks one pair at a
+// time (minimal crowd cost, maximal latency); ParallelStrategy asks whole
+// rounds of pairs that every outcome forces to the crowd;
+// PlatformStrategy streams against a Platform (your crowdsourcing
+// backend) and with WithInstantDecisions republishes the moment an answer
+// makes new pairs mandatory; OneToOneStrategy and BudgetStrategy are the
+// constraint and budget extensions. NewSimulatedCrowd and NewAMTSimulator
+// provide in-memory platforms for testing and simulation.
+//
+// Real crowd jobs run for hours, so the session is built to be interrupted:
+// cancelling ctx returns a valid partial JoinResult (every deduction the
+// collected answers imply is applied), WithProgress streams per-pair and
+// per-round events, and WithJournal keeps an append-only label journal
+// that a later session replays to resume mid-join without re-paying for
+// answered pairs. The original free functions (LabelSequential and
+// friends) remain as deprecated, result-identical wrappers over Join.
 //
 // # Deduction engine
 //
@@ -52,6 +72,7 @@
 // scripts/bench.sh snapshots the perf-critical benchmarks into
 // BENCH_core.json; see ROADMAP.md for the current measured baseline.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// See DESIGN.md for the system inventory; the paper-vs-measured record of
+// every table and figure lives in internal/experiments (driven by
+// cmd/experiments).
 package crowdjoin

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,20 +35,38 @@ func main() {
 	fmt.Printf("machine pass kept %d candidates of %d pairs\n", len(pairs), d.NumPairs())
 
 	truth := &crowdjoin.TruthOracle{Entity: d.Entities()}
-	count := func(name string, order []crowdjoin.Pair) int {
-		res, err := crowdjoin.LabelSequential(d.Len(), order, truth)
+	// The labeling order is a pluggable session strategy: the same Join
+	// configuration, re-run with four different WithOrder values.
+	run := func(ord crowdjoin.Ordering) *crowdjoin.JoinResult {
+		j, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(d.Len(), pairs),
+			crowdjoin.WithOrder(ord),
+			crowdjoin.WithOracle(truth),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		res, err := j.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	count := func(name string, ord crowdjoin.Ordering) int {
+		res := run(ord)
 		fmt.Printf("  %-22s %5d crowdsourced, %5d deduced\n", name, res.NumCrowdsourced, res.NumDeduced)
 		return res.NumCrowdsourced
 	}
 
 	fmt.Println("labeling order comparison (perfect crowd):")
-	opt := count("optimal (oracle)", crowdjoin.OptimalOrder(pairs, truth.Matches))
-	exp := count("expected (heuristic)", crowdjoin.ExpectedOrder(pairs))
-	count("random", crowdjoin.RandomOrder(pairs, rand.New(rand.NewSource(1))))
-	worst := count("worst (oracle)", crowdjoin.WorstOrder(pairs, truth.Matches))
+	opt := count("optimal (oracle)", func(ps []crowdjoin.Pair) []crowdjoin.Pair {
+		return crowdjoin.OptimalOrder(ps, truth.Matches)
+	})
+	exp := count("expected (heuristic)", crowdjoin.OrderExpected)
+	count("random", crowdjoin.OrderRandom(rand.New(rand.NewSource(1))))
+	worst := count("worst (oracle)", func(ps []crowdjoin.Pair) []crowdjoin.Pair {
+		return crowdjoin.WorstOrder(ps, truth.Matches)
+	})
 
 	fmt.Printf("\nthe heuristic needs %.1f%% more questions than the optimal order;\n",
 		100*(float64(exp)/float64(opt)-1))
@@ -55,11 +74,7 @@ func main() {
 		float64(worst)/float64(opt))
 
 	// Final entities from the expected-order run.
-	res, err := crowdjoin.LabelSequential(d.Len(), crowdjoin.ExpectedOrder(pairs), truth)
-	if err != nil {
-		log.Fatal(err)
-	}
-	clusters, err := crowdjoin.Clusters(d.Len(), pairs, res.Labels)
+	clusters, err := run(crowdjoin.OrderExpected).Clusters()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,11 +28,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	order := crowdjoin.ExpectedOrder(pairs)
 	truth := &crowdjoin.TruthOracle{Entity: d.Entities()}
 
 	amt := crowdjoin.DefaultAMTConfig()
 	amt.BatchSize = 10
+
+	// runOn drives one join session against pf (the default ordering is
+	// the likelihood-descending expected order).
+	runOn := func(pf crowdjoin.Platform, instant bool) *crowdjoin.JoinResult {
+		j, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(d.Len(), pairs),
+			crowdjoin.WithStrategy(crowdjoin.PlatformStrategy),
+			crowdjoin.WithPlatform(pf),
+			crowdjoin.WithInstantDecisions(instant),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := j.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	// Parallel(ID): publish every pair that has become mandatory the moment
 	// an answer arrives; HITs fill as pairs accumulate.
@@ -39,10 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := crowdjoin.LabelOnPlatform(d.Len(), order, platform, true)
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := runOn(platform, true)
 	fmt.Printf("candidates: %d; crowdsourced %d, deduced %d\n",
 		len(pairs), res.NumCrowdsourced, res.NumDeduced)
 	fmt.Printf("Parallel(ID): %d HITs, %d assignments, %d cents, %.1f simulated hours\n",
@@ -61,10 +77,7 @@ func main() {
 	// decision work keeps flowing.
 	for _, instant := range []bool{false, true} {
 		pf := crowdjoin.NewSimulatedCrowd(truth, crowdjoin.SelectAscendingLikelihood, nil)
-		run, err := crowdjoin.LabelOnPlatform(d.Len(), order, pf, instant)
-		if err != nil {
-			log.Fatal(err)
-		}
+		run := runOn(pf, instant)
 		starved := 0
 		for _, a := range run.Availability[:len(run.Availability)-1] {
 			if a == 0 {

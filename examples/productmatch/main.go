@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,13 +34,6 @@ func main() {
 	fmt.Printf("joining %d x %d product listings (%d possible pairs)\n",
 		len(abt), len(buy), len(abt)*len(buy))
 
-	matcher := crowdjoin.Matcher{Threshold: 0.3, UseIDF: true}
-	pairs, err := matcher.CandidatesAcross(abt, buy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("machine pass kept %d candidates\n", len(pairs))
-
 	// The facade numbers objects 0..len(abt)+len(buy)-1; map back to the
 	// generator's ground truth to simulate the crowd.
 	entityOf := func(o int32) int32 {
@@ -62,12 +56,23 @@ func main() {
 		return out
 	})
 
-	n := len(abt) + len(buy)
-	order := crowdjoin.ExpectedOrder(pairs)
-	res, err := crowdjoin.LabelParallel(n, order, batch)
+	// One session: bipartite candidates, likelihood-descending order, and
+	// the parallel labeler, all behind Join.Run.
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithTextsAcross(abt, buy),
+		crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3, UseIDF: true}),
+		crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+		crowdjoin.WithBatchOracle(batch),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := res.Order
+	fmt.Printf("machine pass kept %d candidates\n", len(pairs))
 	fmt.Printf("parallel labeler: %d pairs crowdsourced in %d iterations (round sizes %v), %d deduced\n",
 		res.NumCrowdsourced, len(res.RoundSizes), res.RoundSizes, res.NumDeduced)
 

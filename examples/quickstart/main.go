@@ -1,9 +1,11 @@
 // Quickstart: resolve six product listings with a simulated crowd, showing
-// the full hybrid workflow — machine candidates, expected labeling order,
-// transitive deduction, final clusters.
+// the full hybrid workflow through the session API — machine candidates,
+// expected labeling order, transitive deduction, progress events, final
+// clusters — behind a single Join.Run call.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,34 +24,43 @@ func main() {
 		"dyson dc25 vacuum upright",
 	}
 
-	// Machine half: score pairs by token similarity, keep likely matches.
-	matcher := crowdjoin.Matcher{Threshold: 0.3}
-	pairs, err := matcher.Candidates(texts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("machine pass kept %d candidate pairs of %d possible\n",
-		len(pairs), len(texts)*(len(texts)-1)/2)
-
-	// Human half: label candidates in likelihood-descending order. The
-	// "crowd" here is a function; swap in your real crowdsourcing backend.
+	// The "crowd" here is a function; swap in your real crowdsourcing
+	// backend (or a Platform via PlatformStrategy).
 	crowd := crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
-		fmt.Printf("  crowd asked: %q vs %q\n", texts[p.A], texts[p.B])
 		truth := []int32{0, 0, 0, 1, 1, 2} // who actually matches whom
 		if truth[p.A] == truth[p.B] {
 			return crowdjoin.Matching
 		}
 		return crowdjoin.NonMatching
 	})
-	order := crowdjoin.ExpectedOrder(pairs)
-	res, err := crowdjoin.LabelSequential(len(texts), order, crowd)
+
+	// One session: machine half (Matcher over the texts), labeling order
+	// (likelihood descending by default), human half (the oracle), and a
+	// progress stream showing which questions the crowd actually saw.
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithTexts(texts),
+		crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3}),
+		crowdjoin.WithOracle(crowd),
+		crowdjoin.WithProgress(func(e crowdjoin.Event) {
+			if e.Kind == crowdjoin.EventPairCrowdsourced {
+				fmt.Printf("  crowd asked: %q vs %q\n", texts[e.Pair.A], texts[e.Pair.B])
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine pass kept %d candidate pairs of %d possible\n",
+		len(res.Order), len(texts)*(len(texts)-1)/2)
 	fmt.Printf("crowdsourced %d pairs, deduced %d via transitive relations\n",
 		res.NumCrowdsourced, res.NumDeduced)
 
-	clusters, err := crowdjoin.Clusters(len(texts), pairs, res.Labels)
+	clusters, err := res.Clusters()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,9 +25,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	order := crowdjoin.ExpectedOrder(pairs)
 	truth := &crowdjoin.TruthOracle{Entity: d.Entities()}
 	trueMatches := d.TrueMatchingPairs()
+
+	// One session per strategy over the same candidates; the default
+	// ordering is the likelihood-descending expected order.
+	run := func(s crowdjoin.Strategy) *crowdjoin.JoinResult {
+		j, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(d.Len(), pairs),
+			crowdjoin.WithStrategy(s),
+			crowdjoin.WithOracle(truth),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := j.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	f1 := func(labels []crowdjoin.Label) float64 {
 		tp, fp := 0, 0
@@ -48,29 +66,20 @@ func main() {
 		return 2 * precision * recall / (precision + recall)
 	}
 
-	full, err := crowdjoin.LabelSequential(d.Len(), order, truth)
-	if err != nil {
-		log.Fatal(err)
-	}
+	full := run(crowdjoin.SequentialStrategy)
 	fmt.Printf("candidates: %d; full transitive labeling asks the crowd %d questions (F1 %.3f)\n\n",
 		len(pairs), full.NumCrowdsourced, f1(full.Labels))
 
 	fmt.Println("budgeted labeling (rest guessed from machine likelihood):")
 	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		budget := int(frac * float64(full.NumCrowdsourced))
-		res, err := crowdjoin.LabelWithBudget(d.Len(), order, truth, budget, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := run(crowdjoin.BudgetStrategy(budget, 0.5))
 		fmt.Printf("  budget %4d questions (%3.0f%%): F1 %.3f (%d guessed)\n",
 			budget, 100*frac, f1(res.Labels), res.NumGuessed)
 	}
 
 	fmt.Println("\none-to-one constraint (sources assumed duplicate-free):")
-	oto, err := crowdjoin.LabelSequentialOneToOne(d.Len(), order, truth)
-	if err != nil {
-		log.Fatal(err)
-	}
+	oto := run(crowdjoin.OneToOneStrategy)
 	fmt.Printf("  questions %d → %d (constraint deduced %d more pairs); F1 %.3f → %.3f\n",
 		full.NumCrowdsourced, oto.NumCrowdsourced, oto.NumConstraintDeduced,
 		f1(full.Labels), f1(oto.Labels))

@@ -188,53 +188,64 @@ func (s *Scorer) NumTokens() int { return s.numTokens }
 
 // Similarity returns the likelihood that records a and b match, in [0,1].
 func (s *Scorer) Similarity(a, b int32) float64 {
-	ta, tb := s.tok(a), s.tok(b)
-	if len(ta) == 0 && len(tb) == 0 {
+	if s.weighting == Unweighted {
+		return jaccardMerge(s.tok(a), s.tok(b))
+	}
+	return weightedJaccardMerge(s.tok(a), s.tok(b), s.idf)
+}
+
+// jaccardMerge computes plain Jaccard over two sorted distinct token-id
+// lists with one linear merge. Two empty lists score the degenerate 1
+// (candidate generation filters that case via the shared-token contract).
+// Shared by the scorer and the corpus-free pairwise path (TextSimilarity),
+// so the two stay identical by construction.
+func jaccardMerge(ta, tb []int32) float64 {
+	inter := 0
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] == tb[j]:
+			inter++
+			i++
+			j++
+		case ta[i] < tb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
 		return 1
 	}
-	if s.weighting == Unweighted {
-		inter := 0
-		i, j := 0, 0
-		for i < len(ta) && j < len(tb) {
-			switch {
-			case ta[i] == tb[j]:
-				inter++
-				i++
-				j++
-			case ta[i] < tb[j]:
-				i++
-			default:
-				j++
-			}
-		}
-		union := len(ta) + len(tb) - inter
-		if union == 0 {
-			return 1
-		}
-		return float64(inter) / float64(union)
-	}
+	return float64(inter) / float64(union)
+}
+
+// weightedJaccardMerge is jaccardMerge with per-token-id weights (indexed
+// by id, e.g. IDF).
+func weightedJaccardMerge(ta, tb []int32, w []float64) float64 {
 	var inter, union float64
 	i, j := 0, 0
 	for i < len(ta) && j < len(tb) {
 		switch {
 		case ta[i] == tb[j]:
-			inter += s.idf[ta[i]]
-			union += s.idf[ta[i]]
+			inter += w[ta[i]]
+			union += w[ta[i]]
 			i++
 			j++
 		case ta[i] < tb[j]:
-			union += s.idf[ta[i]]
+			union += w[ta[i]]
 			i++
 		default:
-			union += s.idf[tb[j]]
+			union += w[tb[j]]
 			j++
 		}
 	}
 	for ; i < len(ta); i++ {
-		union += s.idf[ta[i]]
+		union += w[ta[i]]
 	}
 	for ; j < len(tb); j++ {
-		union += s.idf[tb[j]]
+		union += w[tb[j]]
 	}
 	if union == 0 {
 		return 1

@@ -1,0 +1,58 @@
+package candgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdjoin/internal/dataset"
+)
+
+// twoRecordDataset wraps a and b the way the facade's Matcher used to
+// before pairwise probes got the lightweight path.
+func twoRecordDataset(a, b string) *dataset.Dataset {
+	d := &dataset.Dataset{Name: "pair", NumEntities: 1}
+	for i, t := range []string{a, b} {
+		d.Records = append(d.Records, dataset.Record{
+			ID:     int32(i),
+			Fields: []dataset.Field{{Name: "text", Value: t}},
+		})
+	}
+	return d
+}
+
+// TestTextSimilarityMatchesScorer: the lightweight pairwise path must be
+// bit-identical to building a two-record scorer, for both weightings,
+// including degenerate inputs.
+func TestTextSimilarityMatchesScorer(t *testing.T) {
+	vocab := []string{"apple", "ipad", "tablet", "sony", "tv", "lcd", "black", "16gb", "40", "inch", "dyson", "vacuum", "2nd", "gen"}
+	rng := rand.New(rand.NewSource(7))
+	randomText := func() string {
+		n := rng.Intn(8)
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += vocab[rng.Intn(len(vocab))]
+		}
+		return s
+	}
+	cases := [][2]string{
+		{"", ""},
+		{"", "apple ipad"},
+		{"apple ipad tablet", "apple ipad tablet"},
+		{"apple ipad", "dyson vacuum"},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, [2]string{randomText(), randomText()})
+	}
+	for _, c := range cases {
+		for _, w := range []Weighting{Unweighted, IDFWeighted} {
+			want := NewScorer(twoRecordDataset(c[0], c[1]), w).Similarity(0, 1)
+			got := TextSimilarity(c[0], c[1], w)
+			if got != want {
+				t.Fatalf("TextSimilarity(%q, %q, %v) = %v, scorer path = %v", c[0], c[1], w, got, want)
+			}
+		}
+	}
+}

@@ -26,6 +26,16 @@ type BudgetResult struct {
 // Guessed labels never enter the deduction graph: they are low-confidence
 // and would otherwise contaminate transitive closure.
 func LabelWithBudget(numObjects int, order []Pair, oracle Oracle, budget int, guessThreshold float64) (*BudgetResult, error) {
+	return LabelWithBudgetRun(numObjects, order, oracle, budget, guessThreshold, RunOpts{})
+}
+
+// LabelWithBudgetRun is LabelWithBudget with session options: context
+// cancellation (partial result + ctx error, see RunOpts.Ctx) and progress
+// events. Cancellation does not guess: the sweep applies only the
+// deductions the collected answers imply, so unreached pairs stay
+// Unlabeled and the partial result is distinguishable from a completed
+// budget run.
+func LabelWithBudgetRun(numObjects int, order []Pair, oracle Oracle, budget int, guessThreshold float64, ro RunOpts) (*BudgetResult, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
@@ -37,15 +47,21 @@ func LabelWithBudget(numObjects int, order []Pair, oracle Oracle, budget int, gu
 		Guessed: make([]bool, len(order)),
 	}
 	g := clustergraph.New(numObjects)
-	for _, p := range order {
+	for i, p := range order {
+		if err := ro.err(); err != nil {
+			deduceRemaining(g, order[i:], &res.Result, ro)
+			return res, err
+		}
 		switch g.Deduce(p.A, p.B) {
 		case clustergraph.DeducedMatching:
 			res.Labels[p.ID] = Matching
 			res.NumDeduced++
+			ro.emitPair(EventPairDeduced, p, Matching)
 			continue
 		case clustergraph.DeducedNonMatching:
 			res.Labels[p.ID] = NonMatching
 			res.NumDeduced++
+			ro.emitPair(EventPairDeduced, p, NonMatching)
 			continue
 		}
 		if res.NumCrowdsourced < budget {
@@ -59,11 +75,14 @@ func LabelWithBudget(numObjects int, order []Pair, oracle Oracle, budget int, gu
 			res.Labels[p.ID] = l
 			res.Crowdsourced[p.ID] = true
 			res.NumCrowdsourced++
+			ro.emitPair(EventPairCrowdsourced, p, l)
 			continue
 		}
-		res.Labels[p.ID] = LabelOf(p.Likelihood >= guessThreshold)
+		l := LabelOf(p.Likelihood >= guessThreshold)
+		res.Labels[p.ID] = l
 		res.Guessed[p.ID] = true
 		res.NumGuessed++
+		ro.emitPair(EventPairGuessed, p, l)
 	}
 	return res, nil
 }

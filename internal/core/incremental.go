@@ -46,6 +46,9 @@ type IncrementalScanner struct {
 	// the scan deduces itself are mirrored internally).
 	posLabels []Label
 	posByID   []int32
+	// OnDeduce, when non-nil, is invoked for every pair the fused scan
+	// deduces itself (progress reporting); set before the first scan.
+	OnDeduce func(Pair, Label)
 }
 
 // NewIncrementalScanner prepares a scanner for the given order.
@@ -121,6 +124,9 @@ advance:
 				s.posLabels[s.pos] = l
 			}
 			deduced++
+			if s.OnDeduce != nil {
+				s.OnDeduce(p, l)
+			}
 		}
 		s.base.ForceInsert(p.A, p.B, l == Matching)
 		s.pos++
@@ -153,6 +159,9 @@ advance:
 					s.posLabels[pos] = l
 				}
 				deduced++
+				if s.OnDeduce != nil {
+					s.OnDeduce(p, l)
+				}
 			}
 		}
 		switch l {

@@ -26,34 +26,60 @@ type OneToOneResult struct {
 // even with a perfect crowd. Callers trade that risk for extra savings; the
 // ablation bench quantifies both sides on the Product workload.
 func LabelSequentialOneToOne(numObjects int, order []Pair, oracle Oracle) (*OneToOneResult, error) {
+	return LabelSequentialOneToOneRun(numObjects, order, oracle, RunOpts{})
+}
+
+// LabelSequentialOneToOneRun is LabelSequentialOneToOne with session
+// options: context cancellation (partial result + ctx error, see
+// RunOpts.Ctx) and progress events. The cancellation sweep applies both
+// free inference rules — transitive deduction and the one-to-one
+// constraint — before returning.
+func LabelSequentialOneToOneRun(numObjects int, order []Pair, oracle Oracle, ro RunOpts) (*OneToOneResult, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
 	res := &OneToOneResult{Result: *newResult(len(order))}
 	g := clustergraph.New(numObjects)
 	matched := make([]bool, numObjects)
-	for _, p := range order {
+	// free labels a pair without consulting the crowd where either
+	// transitive relations or the one-to-one constraint decide it, returning
+	// false when only the crowd can answer. Shared by the main loop and the
+	// cancellation sweep.
+	free := func(p Pair) bool {
 		switch g.Deduce(p.A, p.B) {
 		case clustergraph.DeducedMatching:
 			res.Labels[p.ID] = Matching
 			res.NumDeduced++
-			continue
+			ro.emitPair(EventPairDeduced, p, Matching)
+			return true
 		case clustergraph.DeducedNonMatching:
 			res.Labels[p.ID] = NonMatching
 			res.NumDeduced++
-			continue
+			ro.emitPair(EventPairDeduced, p, NonMatching)
+			return true
 		}
 		if matched[p.A] || matched[p.B] {
 			// One endpoint is already matched to a different record (the
 			// same record would have been deduced matching above), so the
 			// constraint forces non-matching. Feed it to the graph so
-			// negative transitivity can build on it.
+			// negative transitivity can build on it. The insert cannot
+			// conflict: the deduction above ruled out same-cluster.
 			res.Labels[p.ID] = NonMatching
 			res.NumConstraintDeduced++
-			// The insert cannot conflict: step one ruled out same-cluster.
-			if err := g.InsertNonMatching(p.A, p.B); err != nil {
-				return nil, fmt.Errorf("core: one-to-one labeling: %w", err)
+			_ = g.InsertNonMatching(p.A, p.B)
+			ro.emitPair(EventPairConstraintDeduced, p, NonMatching)
+			return true
+		}
+		return false
+	}
+	for i, p := range order {
+		if err := ro.err(); err != nil {
+			for _, q := range order[i:] {
+				free(q)
 			}
+			return res, err
+		}
+		if free(p) {
 			continue
 		}
 		l := oracle.Label(p)
@@ -70,6 +96,7 @@ func LabelSequentialOneToOne(numObjects int, order []Pair, oracle Oracle) (*OneT
 		res.Labels[p.ID] = l
 		res.Crowdsourced[p.ID] = true
 		res.NumCrowdsourced++
+		ro.emitPair(EventPairCrowdsourced, p, l)
 	}
 	return res, nil
 }

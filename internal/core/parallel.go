@@ -89,6 +89,16 @@ type ParallelResult struct {
 // The total number of crowdsourced pairs equals the sequential labeler's
 // for the same order and oracle (Section 5.1).
 func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelResult, error) {
+	return LabelParallelRun(numObjects, order, oracle, RunOpts{})
+}
+
+// LabelParallelRun is LabelParallel with session options: context
+// cancellation (partial result + ctx error, see RunOpts.Ctx) and progress
+// events. Cancellation is observed between rounds, after the fused
+// scan-and-deduce pass — so every deduction implied by the answers already
+// collected is in the partial result, and only the pending batch is
+// abandoned.
+func LabelParallelRun(numObjects int, order []Pair, oracle BatchOracle, ro RunOpts) (*ParallelResult, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
@@ -96,6 +106,9 @@ func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelR
 	labeled := clustergraph.New(numObjects) // crowd-labeled pairs only
 	scanner := NewIncrementalScanner(numObjects, order)
 	scanner.EnableLabelMirror()
+	if ro.Progress != nil {
+		scanner.OnDeduce = func(p Pair, l Label) { ro.emitPair(EventPairDeduced, p, l) }
+	}
 	unlabeled := len(order)
 
 	// The labeled graph is frozen during a scan, so each round resolves
@@ -119,6 +132,12 @@ func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelR
 			// and the fused deduction already exhausted those.
 			return nil, fmt.Errorf("core: parallel labeling stalled with %d pairs unlabeled", unlabeled)
 		}
+		if err := ro.err(); err != nil {
+			// The scan above already deduced everything the collected
+			// answers imply; the selected batch was never published.
+			return res, err
+		}
+		ro.emitRound(len(res.RoundSizes), len(batch))
 		answers := oracle.LabelBatch(batch)
 		if len(answers) != len(batch) {
 			return nil, fmt.Errorf("core: batch oracle returned %d answers for %d pairs", len(answers), len(batch))
@@ -143,11 +162,13 @@ func LabelParallel(numObjects int, order []Pair, oracle BatchOracle) (*ParallelR
 				} else {
 					l = NonMatching
 				}
+				ro.emitPair(EventConflictOverridden, p, l)
 			}
 			res.Labels[p.ID] = l
 			scanner.NoteLabel(p.ID, l)
 			res.Crowdsourced[p.ID] = true
 			res.NumCrowdsourced++
+			ro.emitPair(EventPairCrowdsourced, p, l)
 			unlabeled--
 		}
 		res.RoundSizes = append(res.RoundSizes, len(batch))

@@ -75,6 +75,15 @@ func LabelOnPlatform(numObjects int, order []Pair, pf Platform, instant bool) (*
 
 // LabelOnPlatformOpts is LabelOnPlatform with explicit options.
 func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts PlatformOptions) (*TraceResult, error) {
+	return LabelOnPlatformRun(numObjects, order, pf, opts, RunOpts{})
+}
+
+// LabelOnPlatformRun is LabelOnPlatformOpts with session options: context
+// cancellation (partial result + ctx error, see RunOpts.Ctx) and progress
+// events. On cancellation the driver stops consuming answers; pairs whose
+// published HITs were still in flight are deduced where the collected
+// answers allow and stay Unlabeled otherwise.
+func LabelOnPlatformRun(numObjects int, order []Pair, pf Platform, opts PlatformOptions, ro RunOpts) (*TraceResult, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
@@ -113,10 +122,12 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 			res.Labels[q.ID] = Matching
 			res.NumDeduced++
 			unlabeled--
+			ro.emitPair(EventPairDeduced, q, Matching)
 		case clustergraph.DeducedNonMatching:
 			res.Labels[q.ID] = NonMatching
 			res.NumDeduced++
 			unlabeled--
+			ro.emitPair(EventPairDeduced, q, NonMatching)
 		}
 	}
 
@@ -129,11 +140,19 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 			published[p.ID] = true
 		}
 		pf.Publish(batch)
+		ro.emitRound(len(res.PublishSizes), len(batch))
 		res.PublishSizes = append(res.PublishSizes, len(batch))
 	}
 
 	publish()
 	for unlabeled > 0 {
+		if err := ro.err(); err != nil {
+			// Published-but-unanswered pairs are fair game for the final
+			// sweep: no answer is coming for them anymore, so the deduced
+			// label is the best (and only) information available.
+			deduceRemaining(labeled, order, &res.Result, ro)
+			return res, err
+		}
 		if pf.Available() == 0 {
 			// Plain Parallel republishes only here; instant mode reaches
 			// this only when the remaining pairs were all deduced, in which
@@ -174,10 +193,12 @@ func LabelOnPlatformOpts(numObjects int, order []Pair, pf Platform, opts Platfor
 			} else {
 				l = NonMatching
 			}
+			ro.emitPair(EventConflictOverridden, p, l)
 		}
 		res.Labels[p.ID] = l
 		res.Crowdsourced[p.ID] = true
 		res.NumCrowdsourced++
+		ro.emitPair(EventPairCrowdsourced, p, l)
 		unlabeled--
 		// Deduce everything that now follows from the crowd labels.
 		// Published pairs are excluded: they are already paid for and their

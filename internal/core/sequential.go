@@ -13,19 +13,32 @@ import (
 //
 // Pair IDs in order must be dense (a permutation of 0..len(order)-1).
 func LabelSequential(numObjects int, order []Pair, oracle Oracle) (*Result, error) {
+	return LabelSequentialRun(numObjects, order, oracle, RunOpts{})
+}
+
+// LabelSequentialRun is LabelSequential with session options: context
+// cancellation (partial result + ctx error, see RunOpts.Ctx) and progress
+// events.
+func LabelSequentialRun(numObjects int, order []Pair, oracle Oracle, ro RunOpts) (*Result, error) {
 	if err := ValidatePairs(numObjects, order); err != nil {
 		return nil, err
 	}
 	res := newResult(len(order))
 	g := clustergraph.New(numObjects)
-	for _, p := range order {
+	for i, p := range order {
+		if err := ro.err(); err != nil {
+			deduceRemaining(g, order[i:], res, ro)
+			return res, err
+		}
 		switch g.Deduce(p.A, p.B) {
 		case clustergraph.DeducedMatching:
 			res.Labels[p.ID] = Matching
 			res.NumDeduced++
+			ro.emitPair(EventPairDeduced, p, Matching)
 		case clustergraph.DeducedNonMatching:
 			res.Labels[p.ID] = NonMatching
 			res.NumDeduced++
+			ro.emitPair(EventPairDeduced, p, NonMatching)
 		default:
 			l := oracle.Label(p)
 			if err := checkAnswer(p, l); err != nil {
@@ -39,6 +52,7 @@ func LabelSequential(numObjects int, order []Pair, oracle Oracle) (*Result, erro
 			res.Labels[p.ID] = l
 			res.Crowdsourced[p.ID] = true
 			res.NumCrowdsourced++
+			ro.emitPair(EventPairCrowdsourced, p, l)
 		}
 	}
 	return res, nil

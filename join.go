@@ -1,0 +1,564 @@
+package crowdjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"crowdjoin/internal/core"
+)
+
+// Progress events. A Join configured with WithProgress receives one Event
+// per labeling step, synchronously from the labeling loop.
+type (
+	// Event is one progress notification (pair labeled, pair deduced, round
+	// published, conflict overridden, ...).
+	Event = core.Event
+	// EventKind identifies what an Event reports.
+	EventKind = core.EventKind
+)
+
+// Event kinds.
+const (
+	EventPairCrowdsourced      = core.EventPairCrowdsourced
+	EventPairDeduced           = core.EventPairDeduced
+	EventPairGuessed           = core.EventPairGuessed
+	EventPairConstraintDeduced = core.EventPairConstraintDeduced
+	EventRoundPublished        = core.EventRoundPublished
+	EventConflictOverridden    = core.EventConflictOverridden
+)
+
+// Ordering decides the labeling order of a candidate set — itself a
+// pluggable strategy (cf. the expected optimal labeling order problem). It
+// must return a permutation of its input (same pairs, same IDs) and must
+// not modify the input slice.
+type Ordering func([]Pair) []Pair
+
+// Built-in orderings.
+var (
+	// OrderExpected sorts by likelihood descending — the paper's practical
+	// heuristic and the session default.
+	OrderExpected Ordering = ExpectedOrder
+	// OrderAsGiven labels pairs exactly in the order supplied.
+	OrderAsGiven Ordering = func(ps []Pair) []Pair { return ps }
+)
+
+// OrderRandom shuffles the pairs uniformly using rng.
+func OrderRandom(rng *rand.Rand) Ordering {
+	return func(ps []Pair) []Pair { return RandomOrder(ps, rng) }
+}
+
+// strategyKind enumerates the labeling drivers a Join can run.
+type strategyKind uint8
+
+const (
+	strategySequential strategyKind = iota
+	strategyParallel
+	strategyPlatform
+	strategyOneToOne
+	strategyBudget
+)
+
+// Strategy selects which labeling driver a Join runs. Use the exported
+// values (SequentialStrategy, ParallelStrategy, PlatformStrategy,
+// OneToOneStrategy) or the BudgetStrategy constructor.
+type Strategy struct {
+	kind           strategyKind
+	budget         int
+	guessThreshold float64
+}
+
+// Built-in strategies.
+var (
+	// SequentialStrategy asks one pair at a time (minimal crowd cost,
+	// maximal latency); requires an oracle.
+	SequentialStrategy = Strategy{kind: strategySequential}
+	// ParallelStrategy asks whole rounds of mandatory pairs at once;
+	// requires a batch oracle (or an oracle, asked pair by pair).
+	ParallelStrategy = Strategy{kind: strategyParallel}
+	// PlatformStrategy streams work through a crowdsourcing Platform;
+	// requires WithPlatform.
+	PlatformStrategy = Strategy{kind: strategyPlatform}
+	// OneToOneStrategy is the sequential labeler with the one-to-one
+	// constraint for joins between duplicate-free sources.
+	OneToOneStrategy = Strategy{kind: strategyOneToOne}
+)
+
+// BudgetStrategy crowdsources at most budget pairs sequentially; once the
+// budget is spent, undeducible pairs fall back to the machine guess
+// (likelihood ≥ guessThreshold → matching).
+func BudgetStrategy(budget int, guessThreshold float64) Strategy {
+	return Strategy{kind: strategyBudget, budget: budget, guessThreshold: guessThreshold}
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s.kind {
+	case strategySequential:
+		return "sequential"
+	case strategyParallel:
+		return "parallel"
+	case strategyPlatform:
+		return "platform"
+	case strategyOneToOne:
+		return "one-to-one"
+	case strategyBudget:
+		return fmt.Sprintf("budget(%d,%g)", s.budget, s.guessThreshold)
+	default:
+		return "Strategy(?)"
+	}
+}
+
+// Join is one crowdsourced-join session: candidate generation, labeling
+// order, transitive labeling, and the crowd backend behind a single
+// Run(ctx) entry point. Configure it with functional options:
+//
+//	j, err := crowdjoin.NewJoin(
+//	    crowdjoin.WithTexts(texts),
+//	    crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3}),
+//	    crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+//	    crowdjoin.WithOracle(crowd),
+//	)
+//	res, err := j.Run(ctx)
+//
+// A Join may be Run more than once. Without a journal, Run holds no
+// session state at all. With a journal, each Run consumes the stream's
+// read side: a re-Run rewinds it when the stream is an io.Seeker (e.g. an
+// *os.File) and re-reads the accumulated entries; on a non-seekable
+// stream, whose entries are gone after the first read, a re-Run is
+// refused rather than silently re-crowdsourcing everything.
+type Join struct {
+	// input: either precomputed pairs or raw texts fed to the matcher.
+	numObjects int
+	pairs      []Pair
+	havePairs  bool
+	texts      []string
+	textsB     []string
+	bipartite  bool
+	haveTexts  bool
+
+	matcher  Matcher
+	strategy Strategy
+	ordering Ordering
+	oracle   Oracle
+	batch    BatchOracle
+	platform Platform
+
+	instant   bool
+	incScan   bool
+	incDeduce bool
+
+	progress func(Event)
+	journal  io.ReadWriter
+	// journalUsed marks that a Run already consumed the journal's read
+	// side; a later Run must rewind it (io.Seeker) or refuse.
+	journalUsed bool
+
+	err error // first configuration error
+}
+
+// JoinOption configures a Join.
+type JoinOption func(*Join)
+
+// setErr records the first configuration error.
+func (j *Join) setErr(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+// WithPairs supplies a precomputed candidate set over numObjects objects
+// (dense IDs, see Pair.ID), bypassing the matcher. Mutually exclusive with
+// WithTexts / WithTextsAcross.
+func WithPairs(numObjects int, pairs []Pair) JoinOption {
+	return func(j *Join) {
+		if j.havePairs || j.haveTexts {
+			j.setErr(errors.New("crowdjoin: multiple inputs configured (WithPairs/WithTexts/WithTextsAcross)"))
+			return
+		}
+		j.havePairs = true
+		j.numObjects = numObjects
+		j.pairs = pairs
+	}
+}
+
+// WithTexts supplies the records of a deduplication join as raw texts;
+// candidates are generated by the session's Matcher at Run. Object i is
+// texts[i]. Mutually exclusive with WithPairs / WithTextsAcross.
+func WithTexts(texts []string) JoinOption {
+	return func(j *Join) {
+		if j.havePairs || j.haveTexts {
+			j.setErr(errors.New("crowdjoin: multiple inputs configured (WithPairs/WithTexts/WithTextsAcross)"))
+			return
+		}
+		j.haveTexts = true
+		j.texts = texts
+		j.numObjects = len(texts)
+	}
+}
+
+// WithTextsAcross supplies the two sources of a bipartite join as raw
+// texts; candidates span the sources. Objects 0..len(a)-1 are a's texts and
+// len(a)..len(a)+len(b)-1 are b's. Mutually exclusive with WithPairs /
+// WithTexts.
+func WithTextsAcross(a, b []string) JoinOption {
+	return func(j *Join) {
+		if j.havePairs || j.haveTexts {
+			j.setErr(errors.New("crowdjoin: multiple inputs configured (WithPairs/WithTexts/WithTextsAcross)"))
+			return
+		}
+		j.haveTexts = true
+		j.bipartite = true
+		j.texts = a
+		j.textsB = b
+		j.numObjects = len(a) + len(b)
+	}
+}
+
+// WithMatcher sets the matcher that generates candidates from texts
+// (default Matcher{Threshold: 0.3}). Ignored with WithPairs.
+func WithMatcher(m Matcher) JoinOption {
+	return func(j *Join) { j.matcher = m }
+}
+
+// WithStrategy selects the labeling driver (default SequentialStrategy).
+func WithStrategy(s Strategy) JoinOption {
+	return func(j *Join) { j.strategy = s }
+}
+
+// WithOrder sets the labeling-order strategy (default OrderExpected).
+func WithOrder(o Ordering) JoinOption {
+	return func(j *Join) {
+		if o == nil {
+			j.setErr(errors.New("crowdjoin: WithOrder(nil)"))
+			return
+		}
+		j.ordering = o
+	}
+}
+
+// WithOracle sets the per-pair crowd for the sequential-family strategies.
+// The parallel strategy accepts it too (pairs of a round are asked one by
+// one).
+func WithOracle(o Oracle) JoinOption {
+	return func(j *Join) { j.oracle = o }
+}
+
+// WithBatchOracle sets the whole-round crowd for ParallelStrategy. The
+// sequential-family strategies accept it too (each pair becomes a
+// one-element batch).
+func WithBatchOracle(o BatchOracle) JoinOption {
+	return func(j *Join) { j.batch = o }
+}
+
+// WithPlatform sets the crowdsourcing backend for PlatformStrategy.
+func WithPlatform(pf Platform) JoinOption {
+	return func(j *Join) { j.platform = pf }
+}
+
+// WithInstantDecisions toggles the instant-decision optimization of
+// PlatformStrategy: republish newly mandatory pairs after every answer
+// instead of waiting for the platform to drain (default off).
+func WithInstantDecisions(on bool) JoinOption {
+	return func(j *Join) { j.instant = on }
+}
+
+// WithIncrementalPlatform selects the incremental Algorithm-3 scan and the
+// incremental deduction pass for PlatformStrategy (identical results, less
+// work per answer on large candidate sets; default off, matching the
+// legacy LabelOnPlatform).
+func WithIncrementalPlatform(scan, deduce bool) JoinOption {
+	return func(j *Join) { j.incScan, j.incDeduce = scan, deduce }
+}
+
+// WithProgress subscribes fn to the session's progress stream. fn is called
+// synchronously from the labeling loop.
+func WithProgress(fn func(Event)) JoinOption {
+	return func(j *Join) { j.progress = fn }
+}
+
+// WithJournal attaches an append-only label journal: every crowd answer is
+// recorded to rw as it arrives, and answers already present in rw are
+// replayed through the deduction engine instead of being re-crowdsourced —
+// so a restarted session resumes mid-join without paying twice. Open file
+// journals with os.O_CREATE|os.O_RDWR|os.O_APPEND. If appending to the
+// journal fails mid-run, the session cancels itself and Run returns the
+// partial result with the write error (a join whose answers are silently
+// unjournaled would be unresumable).
+func WithJournal(rw io.ReadWriter) JoinOption {
+	return func(j *Join) {
+		if rw == nil {
+			j.setErr(errors.New("crowdjoin: WithJournal(nil)"))
+			return
+		}
+		j.journal = rw
+	}
+}
+
+// NewJoin builds a join session from the given options and validates the
+// configuration: exactly one input (WithPairs, WithTexts, or
+// WithTextsAcross) and a crowd backend matching the strategy.
+func NewJoin(opts ...JoinOption) (*Join, error) {
+	j := &Join{
+		strategy: SequentialStrategy,
+		ordering: OrderExpected,
+		matcher:  Matcher{Threshold: 0.3},
+	}
+	for _, o := range opts {
+		o(j)
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	if !j.havePairs && !j.haveTexts {
+		return nil, errors.New("crowdjoin: no input configured; use WithPairs, WithTexts, or WithTextsAcross")
+	}
+	switch j.strategy.kind {
+	case strategyPlatform:
+		if j.platform == nil {
+			return nil, errors.New("crowdjoin: PlatformStrategy requires WithPlatform")
+		}
+	case strategyParallel:
+		if j.batch == nil && j.oracle == nil {
+			return nil, errors.New("crowdjoin: ParallelStrategy requires WithBatchOracle or WithOracle")
+		}
+	default:
+		if j.oracle == nil && j.batch == nil {
+			return nil, fmt.Errorf("crowdjoin: %v strategy requires WithOracle or WithBatchOracle", j.strategy)
+		}
+	}
+	return j, nil
+}
+
+// singleOracle resolves the per-pair crowd, adapting a batch oracle when
+// only that was configured (NewJoin guarantees one of the two exists).
+func (j *Join) singleOracle() Oracle {
+	if j.oracle != nil {
+		return j.oracle
+	}
+	batch := j.batch
+	return OracleFunc(func(p Pair) Label {
+		ans := batch.LabelBatch([]Pair{p})
+		if len(ans) == 0 {
+			return Unlabeled // rejected by the driver's answer check
+		}
+		return ans[0]
+	})
+}
+
+// batchOracle resolves the whole-round crowd, lifting a per-pair oracle
+// when only that was configured.
+func (j *Join) batchOracle() BatchOracle {
+	if j.batch != nil {
+		return j.batch
+	}
+	return core.Batched(j.oracle)
+}
+
+// JoinResult is the consolidated outcome of Join.Run. All per-pair slices
+// are indexed by Pair.ID. Fields beyond the core set are populated only by
+// the strategies that produce them.
+type JoinResult struct {
+	// NumObjects is the size of the object universe the join ran over.
+	NumObjects int
+	// Order is the labeling order the session actually used — the
+	// candidate set permuted by the configured Ordering, with dense IDs.
+	Order []Pair
+	// Labels holds the final label of every pair. Complete runs never
+	// leave a pair Unlabeled; partial (cancelled) runs may.
+	Labels []Label
+	// Crowdsourced marks pairs whose labels came from the crowd (including
+	// answers replayed from the journal); the rest were deduced or guessed.
+	Crowdsourced []bool
+	// NumCrowdsourced and NumDeduced count the crowd's and the deduction
+	// engine's shares of the labels.
+	NumCrowdsourced int
+	NumDeduced      int
+	// RoundSizes[i] is the number of pairs crowdsourced in parallel
+	// iteration i (ParallelStrategy).
+	RoundSizes []int
+	// PublishSizes[i] is the size of the i-th publish event
+	// (PlatformStrategy).
+	PublishSizes []int
+	// Availability[k] is the platform's outstanding work right after the
+	// (k+1)-th labeled pair (PlatformStrategy).
+	Availability []int
+	// Conflicts counts crowd answers that contradicted the transitive
+	// closure of earlier answers and were overridden (parallel and
+	// platform strategies, inconsistent crowds only).
+	Conflicts int
+	// Guessed marks pairs labeled from the machine likelihood after the
+	// budget ran out (BudgetStrategy); NumGuessed counts them.
+	Guessed    []bool
+	NumGuessed int
+	// NumConstraintDeduced counts labels forced by the one-to-one
+	// constraint (OneToOneStrategy).
+	NumConstraintDeduced int
+	// Replayed counts crowd answers served from the journal instead of the
+	// crowd (sessions resumed via WithJournal).
+	Replayed int
+	// Partial is true when the run was cancelled: Labels may contain
+	// Unlabeled pairs, but every label present is consistent and every
+	// deduction implied by the collected answers has been applied.
+	Partial bool
+}
+
+// Clusters returns the entity clusters implied by the matching labels:
+// connected components over the object universe. Objects appear in
+// increasing order; clusters are ordered by smallest member. Valid for
+// partial results too (unlabeled pairs simply contribute no edges).
+func (r *JoinResult) Clusters() ([][]int32, error) {
+	return Clusters(r.NumObjects, r.Order, r.Labels)
+}
+
+// fill copies the shared result core into r.
+func (r *JoinResult) fill(c *core.Result) {
+	r.Labels = c.Labels
+	r.Crowdsourced = c.Crowdsourced
+	r.NumCrowdsourced = c.NumCrowdsourced
+	r.NumDeduced = c.NumDeduced
+}
+
+// Run executes the session: generate candidates (unless supplied), apply
+// the labeling order, replay the journal if one is attached, and drive the
+// configured strategy to completion.
+//
+// Cancelling ctx does not abandon the work already paid for: Run returns
+// the valid partial result (Partial set, every implied deduction applied)
+// together with ctx's error. Any other error returns a nil result, except
+// a journal write failure, which also carries the partial result.
+func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pairs := j.pairs
+	if !j.havePairs {
+		var err error
+		if j.bipartite {
+			pairs, err = j.matcher.CandidatesAcross(j.texts, j.textsB)
+		} else {
+			pairs, err = j.matcher.Candidates(j.texts)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	order := j.ordering(pairs)
+	if len(order) != len(pairs) {
+		return nil, fmt.Errorf("crowdjoin: ordering returned %d pairs for %d candidates", len(order), len(pairs))
+	}
+
+	oracle, batch, platform := j.oracle, j.batch, j.platform
+	runCtx := ctx
+	var jrn *journalState
+	if j.journal != nil {
+		if j.journalUsed {
+			// An earlier Run consumed the stream; re-reading from the
+			// current position would see no entries, replay nothing, and
+			// append a second header. Rewind when the stream supports it
+			// (appends still go to the end on O_APPEND files).
+			s, ok := j.journal.(io.Seeker)
+			if !ok {
+				return nil, errors.New("crowdjoin: journal stream already consumed by an earlier Run; reopen the journal (or use a seekable stream such as *os.File)")
+			}
+			if _, err := s.Seek(0, io.SeekStart); err != nil {
+				return nil, fmt.Errorf("crowdjoin: rewinding journal for re-Run: %w", err)
+			}
+		}
+		j.journalUsed = true
+		var err error
+		jrn, err = openJournal(j.journal, j.numObjects)
+		if err != nil {
+			return nil, err
+		}
+		// A journal write failure cancels the run so no further answers are
+		// bought without being recorded; the driver then comes back with a
+		// consistent partial result.
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		jrn.onError = cancel
+		if oracle != nil {
+			oracle = &journalOracle{inner: oracle, jrn: jrn}
+		}
+		if batch != nil {
+			batch = &journalBatchOracle{inner: batch, jrn: jrn}
+		}
+		if platform != nil {
+			platform = &journalPlatform{inner: platform, jrn: jrn}
+		}
+	}
+	// Re-resolve the backends against the journal-wrapped instances.
+	session := *j
+	session.oracle, session.batch, session.platform = oracle, batch, platform
+
+	ro := core.RunOpts{Ctx: runCtx, Progress: j.progress}
+	res := &JoinResult{NumObjects: j.numObjects, Order: order}
+	var runErr error
+	switch j.strategy.kind {
+	case strategySequential:
+		r, err := core.LabelSequentialRun(j.numObjects, order, session.singleOracle(), ro)
+		runErr = err
+		if r != nil {
+			res.fill(r)
+		}
+	case strategyParallel:
+		r, err := core.LabelParallelRun(j.numObjects, order, session.batchOracle(), ro)
+		runErr = err
+		if r != nil {
+			res.fill(&r.Result)
+			res.RoundSizes = r.RoundSizes
+			res.Conflicts = r.Conflicts
+		}
+	case strategyPlatform:
+		opts := PlatformOptions{Instant: j.instant, IncrementalScan: j.incScan, IncrementalDeduce: j.incDeduce}
+		r, err := core.LabelOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+		runErr = err
+		if r != nil {
+			res.fill(&r.Result)
+			res.PublishSizes = r.PublishSizes
+			res.Availability = r.Availability
+			res.Conflicts = r.Conflicts
+		}
+	case strategyOneToOne:
+		r, err := core.LabelSequentialOneToOneRun(j.numObjects, order, session.singleOracle(), ro)
+		runErr = err
+		if r != nil {
+			res.fill(&r.Result)
+			res.NumConstraintDeduced = r.NumConstraintDeduced
+		}
+	case strategyBudget:
+		r, err := core.LabelWithBudgetRun(j.numObjects, order, session.singleOracle(), j.strategy.budget, j.strategy.guessThreshold, ro)
+		runErr = err
+		if r != nil {
+			res.fill(&r.Result)
+			res.Guessed = r.Guessed
+			res.NumGuessed = r.NumGuessed
+		}
+	default:
+		return nil, fmt.Errorf("crowdjoin: unknown strategy %v", j.strategy)
+	}
+	if jrn != nil {
+		res.Replayed = jrn.replayed
+		if jrn.werr != nil {
+			werr := fmt.Errorf("crowdjoin: journal append: %w", jrn.werr)
+			if res.Labels == nil {
+				// The driver failed outright before the cancellation could
+				// produce a partial result; there is nothing usable.
+				return nil, werr
+			}
+			res.Partial = true
+			return res, werr
+		}
+	}
+	if runErr != nil {
+		if res.Labels == nil {
+			return nil, runErr // validation or oracle failure: nothing usable
+		}
+		res.Partial = true
+		return res, runErr
+	}
+	return res, nil
+}

@@ -1,0 +1,409 @@
+package crowdjoin_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crowdjoin"
+	"crowdjoin/internal/core"
+)
+
+// randomJoinCase builds a randomized candidate set over a clustered object
+// universe: entities of skewed sizes, candidate pairs biased toward
+// intra-entity pairs, likelihoods correlated with the truth so the expected
+// order is meaningful. Returned pairs carry dense IDs in likelihood order.
+func randomJoinCase(rng *rand.Rand) (numObjects int, pairs []crowdjoin.Pair, entity []int32) {
+	numObjects = 20 + rng.Intn(60)
+	entity = make([]int32, numObjects)
+	e := int32(0)
+	for i := 0; i < numObjects; {
+		size := 1 + rng.Intn(6)
+		for k := 0; k < size && i < numObjects; k++ {
+			entity[i] = e
+			i++
+		}
+		e++
+	}
+	rng.Shuffle(numObjects, func(i, j int) { entity[i], entity[j] = entity[j], entity[i] })
+	seen := map[[2]int32]bool{}
+	tries := numObjects * 4
+	for t := 0; t < tries; t++ {
+		a := int32(rng.Intn(numObjects))
+		b := int32(rng.Intn(numObjects))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			continue
+		}
+		seen[[2]int32{a, b}] = true
+		var lik float64
+		if entity[a] == entity[b] {
+			lik = 0.5 + 0.5*rng.Float64()
+		} else {
+			lik = 0.7 * rng.Float64()
+		}
+		pairs = append(pairs, crowdjoin.Pair{A: a, B: b, Likelihood: lik})
+	}
+	// Dense IDs in likelihood-descending order, like the matcher produces.
+	sorted := crowdjoin.ExpectedOrder(pairs)
+	for i := range sorted {
+		sorted[i].ID = i
+	}
+	return numObjects, sorted, entity
+}
+
+// flakyOracle answers inconsistently but deterministically (hash parity),
+// to exercise the conflict-override path.
+func flakyOracle() crowdjoin.Oracle {
+	return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+		if (p.A*31+p.B*17)%3 == 0 {
+			return crowdjoin.Matching
+		}
+		return crowdjoin.NonMatching
+	})
+}
+
+// TestJoinMatchesCoreDrivers: Join.Run must reproduce, byte for byte, what
+// the original internal/core drivers produce for every strategy, on
+// randomized datasets — the differential acceptance test for the session
+// redesign.
+func TestJoinMatchesCoreDrivers(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		numObjects, pairs, entity := randomJoinCase(rng)
+		order := core.ExpectedOrder(pairs)
+		oracle := &core.TruthOracle{Entity: entity}
+
+		runJoin := func(opts ...crowdjoin.JoinOption) *crowdjoin.JoinResult {
+			t.Helper()
+			opts = append([]crowdjoin.JoinOption{crowdjoin.WithPairs(numObjects, pairs)}, opts...)
+			j, err := crowdjoin.NewJoin(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := j.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		checkCore := func(name string, want *core.Result, got *crowdjoin.JoinResult) {
+			t.Helper()
+			if !reflect.DeepEqual(want.Labels, got.Labels) {
+				t.Fatalf("trial %d %s: labels differ", trial, name)
+			}
+			if !reflect.DeepEqual(want.Crowdsourced, got.Crowdsourced) {
+				t.Fatalf("trial %d %s: crowdsourced flags differ", trial, name)
+			}
+			if want.NumCrowdsourced != got.NumCrowdsourced || want.NumDeduced != got.NumDeduced {
+				t.Fatalf("trial %d %s: counts differ: core %d/%d, join %d/%d", trial, name,
+					want.NumCrowdsourced, want.NumDeduced, got.NumCrowdsourced, got.NumDeduced)
+			}
+			if !reflect.DeepEqual(want.Labels, gotOrderLabels(got)) {
+				t.Fatalf("trial %d %s: order does not match labels", trial, name)
+			}
+		}
+
+		// Sequential.
+		seq, err := core.LabelSequential(numObjects, order, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCore("sequential", seq,
+			runJoin(crowdjoin.WithStrategy(crowdjoin.SequentialStrategy), crowdjoin.WithOracle(oracle)))
+
+		// Parallel, consistent and inconsistent crowds.
+		for _, tc := range []struct {
+			name string
+			o    crowdjoin.Oracle
+		}{{"parallel", oracle}, {"parallel-flaky", flakyOracle()}} {
+			par, err := core.LabelParallel(numObjects, order, core.Batched(tc.o))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runJoin(crowdjoin.WithStrategy(crowdjoin.ParallelStrategy), crowdjoin.WithBatchOracle(core.Batched(tc.o)))
+			checkCore(tc.name, &par.Result, got)
+			if !reflect.DeepEqual(par.RoundSizes, got.RoundSizes) || par.Conflicts != got.Conflicts {
+				t.Fatalf("trial %d %s: rounds/conflicts differ", trial, tc.name)
+			}
+		}
+
+		// Platform, all option combinations, deterministic worker policy.
+		for _, opts := range []core.PlatformOptions{
+			{},
+			{Instant: true},
+			{Instant: true, IncrementalScan: true, IncrementalDeduce: true},
+		} {
+			pf1 := core.NewSimPlatform(oracle, core.SelectAscendingLikelihood, nil)
+			want, err := core.LabelOnPlatformOpts(numObjects, order, pf1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf2 := core.NewSimPlatform(oracle, core.SelectAscendingLikelihood, nil)
+			got := runJoin(
+				crowdjoin.WithStrategy(crowdjoin.PlatformStrategy),
+				crowdjoin.WithPlatform(pf2),
+				crowdjoin.WithInstantDecisions(opts.Instant),
+				crowdjoin.WithIncrementalPlatform(opts.IncrementalScan, opts.IncrementalDeduce))
+			checkCore("platform", &want.Result, got)
+			if !reflect.DeepEqual(want.PublishSizes, got.PublishSizes) ||
+				!reflect.DeepEqual(want.Availability, got.Availability) ||
+				want.Conflicts != got.Conflicts {
+				t.Fatalf("trial %d platform %+v: traces differ", trial, opts)
+			}
+		}
+
+		// Platform with a seeded random worker: same seed on both sides.
+		pf1 := core.NewSimPlatform(oracle, core.SelectRandom, rand.New(rand.NewSource(int64(trial))))
+		want, err := core.LabelOnPlatform(numObjects, order, pf1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf2 := core.NewSimPlatform(oracle, core.SelectRandom, rand.New(rand.NewSource(int64(trial))))
+		checkCore("platform-random", &want.Result,
+			runJoin(crowdjoin.WithStrategy(crowdjoin.PlatformStrategy), crowdjoin.WithPlatform(pf2),
+				crowdjoin.WithInstantDecisions(true)))
+
+		// One-to-one.
+		oto, err := core.LabelSequentialOneToOne(numObjects, order, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOto := runJoin(crowdjoin.WithStrategy(crowdjoin.OneToOneStrategy), crowdjoin.WithOracle(oracle))
+		checkCore("one-to-one", &oto.Result, gotOto)
+		if oto.NumConstraintDeduced != gotOto.NumConstraintDeduced {
+			t.Fatalf("trial %d one-to-one: constraint counts differ", trial)
+		}
+
+		// Budget, several budgets.
+		for _, budget := range []int{0, len(pairs) / 4, len(pairs)} {
+			bud, err := core.LabelWithBudget(numObjects, order, oracle, budget, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBud := runJoin(crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(budget, 0.5)), crowdjoin.WithOracle(oracle))
+			checkCore("budget", &bud.Result, gotBud)
+			if !reflect.DeepEqual(bud.Guessed, gotBud.Guessed) || bud.NumGuessed != gotBud.NumGuessed {
+				t.Fatalf("trial %d budget %d: guesses differ", trial, budget)
+			}
+		}
+	}
+}
+
+// gotOrderLabels re-reads the labels through the result's Order slice,
+// verifying Order carries the same dense IDs the labels are indexed by.
+func gotOrderLabels(r *crowdjoin.JoinResult) []crowdjoin.Label {
+	out := make([]crowdjoin.Label, len(r.Order))
+	for _, p := range r.Order {
+		out[p.ID] = r.Labels[p.ID]
+	}
+	return out
+}
+
+// TestDeprecatedWrappersMatchJoin: each legacy free function must be
+// result-identical to the equivalent Join configuration.
+func TestDeprecatedWrappersMatchJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	numObjects, pairs, entity := randomJoinCase(rng)
+	order := crowdjoin.ExpectedOrder(pairs)
+	oracle := &crowdjoin.TruthOracle{Entity: entity}
+
+	join := func(opts ...crowdjoin.JoinOption) *crowdjoin.JoinResult {
+		t.Helper()
+		opts = append([]crowdjoin.JoinOption{
+			crowdjoin.WithPairs(numObjects, order), crowdjoin.WithOrder(crowdjoin.OrderAsGiven)}, opts...)
+		j, err := crowdjoin.NewJoin(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	seq, err := crowdjoin.LabelSequential(numObjects, order, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := join(crowdjoin.WithOracle(oracle)); !reflect.DeepEqual(seq.Labels, got.Labels) ||
+		seq.NumCrowdsourced != got.NumCrowdsourced {
+		t.Error("LabelSequential differs from its Join configuration")
+	}
+
+	par, err := crowdjoin.LabelParallel(numObjects, order, core.Batched(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := join(crowdjoin.WithStrategy(crowdjoin.ParallelStrategy), crowdjoin.WithBatchOracle(core.Batched(oracle))); !reflect.DeepEqual(par.Labels, got.Labels) ||
+		!reflect.DeepEqual(par.RoundSizes, got.RoundSizes) {
+		t.Error("LabelParallel differs from its Join configuration")
+	}
+
+	wrapPf := core.NewSimPlatform(oracle, core.SelectAscendingLikelihood, nil)
+	tr, err := crowdjoin.LabelOnPlatform(numObjects, order, wrapPf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinPf := core.NewSimPlatform(oracle, core.SelectAscendingLikelihood, nil)
+	if got := join(crowdjoin.WithStrategy(crowdjoin.PlatformStrategy), crowdjoin.WithPlatform(joinPf),
+		crowdjoin.WithInstantDecisions(true)); !reflect.DeepEqual(tr.Labels, got.Labels) ||
+		!reflect.DeepEqual(tr.PublishSizes, got.PublishSizes) {
+		t.Error("LabelOnPlatform differs from its Join configuration")
+	}
+
+	oto, err := crowdjoin.LabelSequentialOneToOne(numObjects, order, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := join(crowdjoin.WithStrategy(crowdjoin.OneToOneStrategy), crowdjoin.WithOracle(oracle)); !reflect.DeepEqual(oto.Labels, got.Labels) ||
+		oto.NumConstraintDeduced != got.NumConstraintDeduced {
+		t.Error("LabelSequentialOneToOne differs from its Join configuration")
+	}
+
+	bud, err := crowdjoin.LabelWithBudget(numObjects, order, oracle, len(order)/3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := join(crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(len(order)/3, 0.5)), crowdjoin.WithOracle(oracle)); !reflect.DeepEqual(bud.Labels, got.Labels) ||
+		bud.NumGuessed != got.NumGuessed {
+		t.Error("LabelWithBudget differs from its Join configuration")
+	}
+}
+
+// TestJoinFromTexts: the session generates candidates itself when given
+// raw texts, matching the standalone Matcher + legacy pipeline.
+func TestJoinFromTexts(t *testing.T) {
+	oracle := exampleOracle()
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithTexts(exampleTexts),
+		crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3}),
+		crowdjoin.WithOracle(oracle),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := crowdjoin.Matcher{Threshold: 0.3}
+	pairs, err := m.Candidates(exampleTexts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := crowdjoin.LabelSequential(len(exampleTexts), crowdjoin.ExpectedOrder(pairs), oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Labels, res.Labels) {
+		t.Errorf("texts-based Join labels %v, want %v", res.Labels, want.Labels)
+	}
+	clusters, err := res.Clusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Errorf("clusters = %v, want 3 groups", clusters)
+	}
+
+	// Bipartite input.
+	jb, err := crowdjoin.NewJoin(
+		crowdjoin.WithTextsAcross(exampleTexts[:3], exampleTexts[3:]),
+		crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.2}),
+		crowdjoin.WithOracle(oracle),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := jb.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range resB.Order {
+		lo, hi := p.A, p.B
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi < 3 || lo >= 3 {
+			t.Errorf("bipartite candidate %v does not span the sources", p)
+		}
+	}
+}
+
+// TestJoinProgressEvents: the progress stream must account for every label
+// and report rounds for the batch strategies.
+func TestJoinProgressEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	numObjects, pairs, entity := randomJoinCase(rng)
+	oracle := &crowdjoin.TruthOracle{Entity: entity}
+
+	var crowdsourced, deduced, rounds int
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithPairs(numObjects, pairs),
+		crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+		crowdjoin.WithOracle(oracle),
+		crowdjoin.WithProgress(func(e crowdjoin.Event) {
+			switch e.Kind {
+			case crowdjoin.EventPairCrowdsourced:
+				crowdsourced++
+			case crowdjoin.EventPairDeduced:
+				deduced++
+			case crowdjoin.EventRoundPublished:
+				if e.Size <= 0 {
+					t.Errorf("round %d published with size %d", e.Round, e.Size)
+				}
+				rounds++
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowdsourced != res.NumCrowdsourced {
+		t.Errorf("crowdsourced events %d, result %d", crowdsourced, res.NumCrowdsourced)
+	}
+	if deduced != res.NumDeduced {
+		t.Errorf("deduced events %d, result %d", deduced, res.NumDeduced)
+	}
+	if rounds != len(res.RoundSizes) {
+		t.Errorf("round events %d, rounds %d", rounds, len(res.RoundSizes))
+	}
+}
+
+// TestNewJoinValidation: configuration errors surface at NewJoin.
+func TestNewJoinValidation(t *testing.T) {
+	oracle := exampleOracle()
+	cases := []struct {
+		name string
+		opts []crowdjoin.JoinOption
+	}{
+		{"no input", []crowdjoin.JoinOption{crowdjoin.WithOracle(oracle)}},
+		{"two inputs", []crowdjoin.JoinOption{
+			crowdjoin.WithTexts(exampleTexts), crowdjoin.WithPairs(3, nil), crowdjoin.WithOracle(oracle)}},
+		{"sequential without crowd", []crowdjoin.JoinOption{crowdjoin.WithTexts(exampleTexts)}},
+		{"platform without backend", []crowdjoin.JoinOption{
+			crowdjoin.WithTexts(exampleTexts), crowdjoin.WithStrategy(crowdjoin.PlatformStrategy), crowdjoin.WithOracle(oracle)}},
+		{"nil ordering", []crowdjoin.JoinOption{
+			crowdjoin.WithTexts(exampleTexts), crowdjoin.WithOracle(oracle), crowdjoin.WithOrder(nil)}},
+		{"nil journal", []crowdjoin.JoinOption{
+			crowdjoin.WithTexts(exampleTexts), crowdjoin.WithOracle(oracle), crowdjoin.WithJournal(nil)}},
+	}
+	for _, tc := range cases {
+		if _, err := crowdjoin.NewJoin(tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package crowdjoin
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The label journal is the session checkpoint layer: an append-only,
+// line-oriented record of every crowd answer, written as the answers
+// arrive. A new session pointed at the same journal replays the recorded
+// answers through the deduction engine instead of re-crowdsourcing them,
+// which resumes an interrupted join without paying twice.
+//
+// Format (text, one record per line):
+//
+//	crowdjoin-journal v1
+//	objects <numObjects>
+//	m <a> <b>
+//	n <a> <b>
+//
+// where m/n is the matching/non-matching answer and a, b are object ids
+// (written a < b; read in either order). The objects line fingerprints the
+// universe size: resuming against a differently sized dataset is rejected.
+// The journal stores ids, not record contents, so resuming against a
+// same-sized but edited or reordered dataset is undetectable and on the
+// caller — keep one journal per input. The format survives crashes
+// mid-append: a trailing line without a newline is ignored on read, and
+// the next append voids it first by writing "#\n" — the fragment becomes a
+// line ending in '#', which every future read skips. A bare re-termination
+// would instead complete the fragment into a parseable line: at best a
+// permanent parse error, at worst (a numerically torn entry like "m 12 3"
+// from "m 12 34") a fabricated answer replayed as real.
+
+// journalHeader is the first line of every label journal.
+const journalHeader = "crowdjoin-journal v1"
+
+// pairKey is the canonical (low, high) object-id key of a pair.
+type pairKey struct{ a, b int32 }
+
+func keyOf(a, b int32) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// journalState is one session's view of a label journal: the replay map
+// read at open, plus the append side.
+type journalState struct {
+	answers    map[pairKey]Label
+	w          io.Writer
+	numObjects int
+	// needHeader: the stream held no (surviving) lines, so the first
+	// append writes the header line. needObjects: no objects fingerprint
+	// survived (fresh journal, or the line was torn away), so the first
+	// append (re)writes it — the size check self-heals instead of being
+	// silently disabled forever. needVoid: the stream ended mid-line
+	// (crash during a previous append), so the first append starts with
+	// "#\n", turning the fragment into a voided line future reads skip.
+	needHeader  bool
+	needObjects bool
+	needVoid    bool
+	replayed    int
+	werr        error
+	onError     func()
+}
+
+// openJournal reads every complete entry of rw and prepares the append
+// side. A mismatched objects line, or an entry referencing objects outside
+// [0, numObjects), is rejected: the journal belongs to a differently sized
+// dataset. (Same-sized content changes are invisible here; see the format
+// comment.)
+func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
+	raw, err := io.ReadAll(rw)
+	if err != nil {
+		return nil, fmt.Errorf("crowdjoin: reading journal: %w", err)
+	}
+	j := &journalState{answers: make(map[pairKey]Label), w: rw, numObjects: numObjects}
+	if len(raw) == 0 {
+		j.needHeader = true
+		j.needObjects = true
+		return j, nil
+	}
+	content := string(raw)
+	// A trailing fragment without '\n' is a torn final append: drop it and
+	// have the next append void it (see the format comment above).
+	if !strings.HasSuffix(content, "\n") {
+		j.needVoid = true
+		if i := strings.LastIndexByte(content, '\n'); i >= 0 {
+			content = content[:i+1]
+		} else {
+			content = ""
+		}
+	}
+	sawHeader, sawObjects := false, false
+	for _, line := range strings.Split(strings.TrimSuffix(content, "\n"), "\n") {
+		if line == "" || strings.HasSuffix(line, "#") {
+			// Voided torn fragments (and blank lines) are not entries.
+			continue
+		}
+		if !sawHeader {
+			if line != journalHeader {
+				return nil, fmt.Errorf("crowdjoin: journal stream does not start with %q", journalHeader)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "objects" {
+			if fields[1] != strconv.Itoa(numObjects) {
+				return nil, fmt.Errorf("crowdjoin: journal was written for %s objects, this join has %d", fields[1], numObjects)
+			}
+			sawObjects = true
+			continue
+		}
+		if len(fields) != 3 || (fields[0] != "m" && fields[0] != "n") {
+			return nil, fmt.Errorf("crowdjoin: malformed journal entry %q", line)
+		}
+		a, errA := strconv.ParseInt(fields[1], 10, 32)
+		b, errB := strconv.ParseInt(fields[2], 10, 32)
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("crowdjoin: malformed journal entry %q", line)
+		}
+		if a < 0 || a >= int64(numObjects) || b < 0 || b >= int64(numObjects) || a == b {
+			return nil, fmt.Errorf("crowdjoin: journal entry %q outside the %d-object universe", line, numObjects)
+		}
+		l := NonMatching
+		if fields[0] == "m" {
+			l = Matching
+		}
+		// Canonicalize: our writer emits a < b, but a hand-edited entry in
+		// the other order must still replay (lookup keys are canonical).
+		j.answers[keyOf(int32(a), int32(b))] = l
+	}
+	if !sawHeader {
+		// Empty, or only voided fragments survived: a fresh journal.
+		j.needHeader = true
+	}
+	j.needObjects = !sawObjects
+	return j, nil
+}
+
+// lookup returns the journaled answer for (a, b), if any.
+func (j *journalState) lookup(a, b int32) (Label, bool) {
+	l, ok := j.answers[keyOf(a, b)]
+	return l, ok
+}
+
+// record appends one crowd answer. Invalid labels are not journaled (the
+// driver rejects them right after); a write failure is remembered and
+// reported once via onError so the session can stop buying unrecorded
+// answers.
+func (j *journalState) record(p Pair, l Label) {
+	if j.werr != nil || (l != Matching && l != NonMatching) {
+		return
+	}
+	k := keyOf(p.A, p.B)
+	if _, ok := j.answers[k]; ok {
+		return
+	}
+	j.answers[k] = l
+	var sb strings.Builder
+	if j.needVoid {
+		sb.WriteString("#\n")
+		j.needVoid = false
+	}
+	if j.needHeader {
+		sb.WriteString(journalHeader)
+		sb.WriteByte('\n')
+		j.needHeader = false
+	}
+	if j.needObjects {
+		sb.WriteString("objects ")
+		sb.WriteString(strconv.Itoa(j.numObjects))
+		sb.WriteByte('\n')
+		j.needObjects = false
+	}
+	tag := byte('n')
+	if l == Matching {
+		tag = 'm'
+	}
+	sb.WriteByte(tag)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(int64(k.a), 10))
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatInt(int64(k.b), 10))
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(j.w, sb.String()); err != nil {
+		j.werr = err
+		if j.onError != nil {
+			j.onError()
+		}
+	}
+}
+
+// journalOracle replays journaled answers and records fresh ones.
+type journalOracle struct {
+	inner Oracle
+	jrn   *journalState
+}
+
+// Label implements Oracle.
+func (o *journalOracle) Label(p Pair) Label {
+	if l, ok := o.jrn.lookup(p.A, p.B); ok {
+		o.jrn.replayed++
+		return l
+	}
+	l := o.inner.Label(p)
+	o.jrn.record(p, l)
+	return l
+}
+
+// journalBatchOracle replays the journaled part of each round and asks the
+// crowd only for the rest.
+type journalBatchOracle struct {
+	inner BatchOracle
+	jrn   *journalState
+}
+
+// LabelBatch implements BatchOracle.
+func (o *journalBatchOracle) LabelBatch(ps []Pair) []Label {
+	out := make([]Label, len(ps))
+	var miss []Pair
+	var missIdx []int
+	for i, p := range ps {
+		if l, ok := o.jrn.lookup(p.A, p.B); ok {
+			out[i] = l
+			o.jrn.replayed++
+		} else {
+			miss = append(miss, p)
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	ans := o.inner.LabelBatch(miss)
+	if len(ans) != len(miss) {
+		// Surface the inner oracle's wrong-length answer to the driver's
+		// length check with its real count — except when that bogus count
+		// equals the full batch size, which would pass the check with
+		// misaligned answers; collapse that case to an empty reply.
+		if len(ans) == len(ps) {
+			return nil
+		}
+		return ans
+	}
+	for k, i := range missIdx {
+		out[i] = ans[k]
+		o.jrn.record(miss[k], ans[k])
+	}
+	return out
+}
+
+// journalPlatform short-circuits published pairs whose answers are already
+// journaled — they are served from an internal FIFO without ever reaching
+// the real platform — and records every answer the platform produces.
+type journalPlatform struct {
+	inner Platform
+	jrn   *journalState
+	// ready holds journaled answers for published pairs; head indexes the
+	// next one to serve.
+	ready       []Pair
+	readyLabels []Label
+	head        int
+}
+
+// Publish implements Platform.
+func (jp *journalPlatform) Publish(ps []Pair) {
+	var fwd []Pair
+	for _, p := range ps {
+		if l, ok := jp.jrn.lookup(p.A, p.B); ok {
+			jp.ready = append(jp.ready, p)
+			jp.readyLabels = append(jp.readyLabels, l)
+		} else {
+			fwd = append(fwd, p)
+		}
+	}
+	if len(fwd) > 0 {
+		jp.inner.Publish(fwd)
+	}
+}
+
+// NextLabel implements Platform: journaled answers drain first, in publish
+// order, then the real platform is consulted.
+func (jp *journalPlatform) NextLabel() (Pair, Label, bool) {
+	if jp.head < len(jp.ready) {
+		p, l := jp.ready[jp.head], jp.readyLabels[jp.head]
+		jp.head++
+		jp.jrn.replayed++
+		return p, l, true
+	}
+	p, l, ok := jp.inner.NextLabel()
+	if ok {
+		jp.jrn.record(p, l)
+	}
+	return p, l, ok
+}
+
+// Available implements Platform.
+func (jp *journalPlatform) Available() int {
+	return len(jp.ready) - jp.head + jp.inner.Available()
+}

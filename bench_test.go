@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"crowdjoin/internal/candgen"
 	"crowdjoin/internal/clustergraph"
@@ -456,6 +457,71 @@ func BenchmarkParallelLabeling(b *testing.B) {
 		if _, err := core.LabelParallel(e.Paper.Dataset.Len(), order, core.Batched(e.Paper.Truth)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// latencyBatchOracle answers from ground truth after a delay proportional
+// to the batch — a throughput-limited crowd (each shard's questions are
+// answered at a fixed rate; shards overlap their waiting). Safe for
+// concurrent use.
+type latencyBatchOracle struct {
+	truth   *core.TruthOracle
+	perPair time.Duration
+}
+
+func (o latencyBatchOracle) LabelBatch(ps []core.Pair) []core.Label {
+	time.Sleep(time.Duration(len(ps)) * o.perPair)
+	out := make([]core.Label, len(ps))
+	for i, p := range ps {
+		out[i] = o.truth.Label(p)
+	}
+	return out
+}
+
+// BenchmarkShardedParallelLabeling measures the component-sharded parallel
+// labeler against a simulated-latency crowd on the Paper dataset at
+// threshold 0.4, where the candidate graph is genuinely multi-component
+// (137 components, largest ~49% of the pairs — at 0.3 one giant component
+// holds 94% and sharding has nothing to parallelize). k=1 is the exact
+// unsharded driver (the WithConcurrency(1) path); k=4 runs four connected
+// components' rounds concurrently. Labels are identical; the wall-clock
+// difference is the cross-component round barrier the sharding removes.
+func BenchmarkShardedParallelLabeling(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.4)
+	order := core.ExpectedOrder(pairs)
+	// Per-pair latency must dominate the OS overhead of a sleep call
+	// (~0.4ms on this class of box), or the measurement degenerates into
+	// counting sleep calls: sharded runs make one crowd round-trip per
+	// component per round, so tiny per-call costs would swamp the modeled
+	// crowd time.
+	oracle := latencyBatchOracle{truth: e.Paper.Truth, perPair: 500 * time.Microsecond}
+	pt, err := core.BuildPartition(e.Paper.Dataset.Len(), order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var crowdsourced int
+			for i := 0; i < b.N; i++ {
+				if k == 1 {
+					r, err := core.LabelParallelRun(e.Paper.Dataset.Len(), order, oracle, core.RunOpts{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					crowdsourced = r.NumCrowdsourced
+				} else {
+					r, err := core.LabelShardedParallelRun(e.Paper.Dataset.Len(), order, oracle, k, core.RunOpts{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					crowdsourced = r.NumCrowdsourced
+				}
+			}
+			b.ReportMetric(float64(len(pt.Shards)), "components")
+			b.ReportMetric(float64(crowdsourced), "crowdsourced")
+		})
 	}
 }
 

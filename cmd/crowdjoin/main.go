@@ -4,7 +4,8 @@
 //
 //	crowdjoin -a records.txt [-b other.txt] [-threshold 0.3] [-idf]
 //	          [-crowd interactive|auto] [-truth truth.txt] [-parallel]
-//	          [-budget n] [-guess 0.5] [-resume journal.log] [-trace]
+//	          [-concurrency k] [-budget n] [-guess 0.5]
+//	          [-resume journal.log] [-trace]
 //
 // Records are one per line. With -b, the join is bipartite (pairs span the
 // two files); without it, the tool deduplicates -a. The crowd is either
@@ -13,12 +14,19 @@
 // line order as the inputs, -a then -b).
 //
 // With -budget n, at most n pairs are crowdsourced and the rest fall back
-// to the machine guess (likelihood ≥ -guess → matching). With -resume, a
-// label journal is kept at the given path: every crowd answer is appended
-// as it arrives, and a rerun replays the journal instead of re-asking the
-// crowd — so an interrupted join continues where it stopped. Ctrl-C
-// cancels the join cleanly: the partial clusters found so far are still
-// printed (and, with -resume, nothing already answered is lost).
+// to the machine guess (likelihood ≥ -guess → matching). With
+// -concurrency k > 1, the candidate graph is sharded by connected
+// component and k components consult the crowd concurrently (labels are
+// identical to the unsharded run; questions from different components
+// interleave). With -resume, a label journal is kept at the given path:
+// every crowd answer is appended as it arrives, and a rerun replays the
+// journal instead of re-asking the crowd — so an interrupted join
+// continues where it stopped. Ctrl-C cancels the join cleanly: the
+// partial clusters found so far are still printed (and, with -resume,
+// nothing already answered is lost). With -trace, progress events stream
+// to stderr; in a concurrent run each event is prefixed with the
+// connected component it belongs to, so interleaved traces stay
+// attributable.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 
 	"crowdjoin"
 )
@@ -41,6 +50,7 @@ func main() {
 	crowdMode := flag.String("crowd", "interactive", "crowd backend: interactive or auto")
 	truthFile := flag.String("truth", "", "entity key per record (required for -crowd auto)")
 	parallel := flag.Bool("parallel", false, "use the parallel labeler (batches of questions)")
+	concurrency := flag.Int("concurrency", 1, "run this many connected components of the candidate graph concurrently")
 	budget := flag.Int("budget", -1, "crowdsource at most this many pairs, then guess (-1: unlimited)")
 	guess := flag.Float64("guess", 0.5, "guess matching at likelihood >= this once the budget is spent")
 	resume := flag.String("resume", "", "label-journal path: append answers and replay them on rerun")
@@ -82,9 +92,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d records, %d candidate pairs above %.2f\n", len(texts), len(pairs), *threshold)
 
+	if *concurrency > 1 {
+		// Shard goroutines ask the oracle concurrently; the interactive
+		// oracle reads stdin and must not interleave two questions.
+		oracle = synchronizedOracle(oracle)
+	}
 	opts := []crowdjoin.JoinOption{
 		crowdjoin.WithPairs(len(texts), pairs),
 		crowdjoin.WithOracle(oracle),
+		crowdjoin.WithConcurrency(*concurrency),
 	}
 	switch {
 	case *parallel && *budget >= 0:
@@ -103,12 +119,20 @@ func main() {
 		opts = append(opts, crowdjoin.WithJournal(f))
 	}
 	if *trace {
+		// In a concurrent run, events from different components interleave;
+		// the component id keeps every line attributable to its shard.
+		prefix := func(e crowdjoin.Event) string {
+			if *concurrency > 1 {
+				return fmt.Sprintf("trace[c%d]", e.Component)
+			}
+			return "trace"
+		}
 		opts = append(opts, crowdjoin.WithProgress(func(e crowdjoin.Event) {
 			switch e.Kind {
 			case crowdjoin.EventRoundPublished:
-				fmt.Fprintf(os.Stderr, "trace: round %d published (%d pairs)\n", e.Round, e.Size)
+				fmt.Fprintf(os.Stderr, "%s: round %d published (%d pairs)\n", prefix(e), e.Round, e.Size)
 			default:
-				fmt.Fprintf(os.Stderr, "trace: %v %v -> %v\n", e.Kind, e.Pair, e.Label)
+				fmt.Fprintf(os.Stderr, "%s: %v %v -> %v\n", prefix(e), e.Kind, e.Pair, e.Label)
 			}
 		}))
 	}
@@ -135,6 +159,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "interrupted (%v): printing the partial join\n", err)
 	} else if err != nil {
 		fatal(err)
+	}
+	if res.Components > 0 {
+		fmt.Fprintf(os.Stderr, "candidate graph split into %d components (up to %d crowdsourced concurrently)\n", res.Components, *concurrency)
 	}
 	fmt.Fprintf(os.Stderr, "crowdsourced %d pairs, deduced %d via transitive relations", res.NumCrowdsourced, res.NumDeduced)
 	if res.Replayed > 0 {
@@ -199,6 +226,18 @@ func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, erro
 	default:
 		return nil, fmt.Errorf("unknown crowd mode %q", mode)
 	}
+}
+
+// synchronizedOracle serializes concurrent shard questions through one
+// mutex, so crowd backends that are not safe for concurrent use (the
+// interactive stdin oracle) still work under -concurrency.
+func synchronizedOracle(o crowdjoin.Oracle) crowdjoin.Oracle {
+	var mu sync.Mutex
+	return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+		mu.Lock()
+		defer mu.Unlock()
+		return o.Label(p)
+	})
 }
 
 func readLines(path string) ([]string, error) {

@@ -91,6 +91,8 @@ func (s *IncrementalScanner) Crowdsourceable(labels []Label, skip []bool) []Pair
 // deduction phase fused into the same pass); a deduced pair's label is
 // written into labels (and the mirror) and counted in the returned total,
 // and the scan then treats the pair as labeled.
+// The returned batch is freshly allocated: it is handed to Platform and
+// BatchOracle implementations, which may retain it.
 func (s *IncrementalScanner) scan(labels []Label, skip []bool, dedG *clustergraph.Graph, dedRoots []int32) (out []Pair, deduced int) {
 	// Advance the base past the labeled prefix; these positions replay
 	// identically forever, so this work happens once per position. An

@@ -59,6 +59,11 @@ type Event struct {
 	Label Label
 	Round int
 	Size  int
+	// Component identifies the connected component of the candidate graph
+	// the event's shard owns, on events from component-sharded runs (the
+	// LabelSharded* drivers). Unsharded drivers leave it 0, so it is only
+	// meaningful when the caller asked for sharded execution.
+	Component int
 }
 
 // RunOpts carries the cross-cutting session concerns — cancellation and

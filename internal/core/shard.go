@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Transitive deduction never crosses connected components of the candidate
+// graph: a path of labeled pairs between two objects stays inside their
+// component. The partitioner below makes that structure explicit — it
+// splits a candidate set into its connected components — and the sharded
+// drivers exploit it: each component ("shard") owns its own ClusterGraph
+// and its own slice of the labeling order, so K shards can consult the
+// crowd concurrently while preserving the paper's single-order semantics
+// inside every component. The merged result is deterministic: labels are
+// scattered back by global pair ID, counters are summed, and parallel
+// round sizes are summed per round index (a global Algorithm-3 round is
+// exactly the union of the per-component rounds, because the optimistic
+// scan's decisions are component-local).
+
+// Shard is one connected component of the candidate graph, re-encoded as a
+// self-contained labeling problem: local object ids are dense in
+// [0, NumObjects) and local pair IDs equal their position in Order (the
+// global order restricted to the component, relative order preserved).
+type Shard struct {
+	// Component is the component id: components are numbered by first
+	// appearance in the global order.
+	Component int
+	// Order is the shard's labeling order in local coordinates.
+	Order []Pair
+	// Global[i] is the original global pair behind Order[i].
+	Global []Pair
+	// Objects maps local object ids back to global ones.
+	Objects []int32
+	// NumObjects is the size of the shard's local object universe.
+	NumObjects int
+}
+
+// GlobalPair translates a local pair (by local ID) back to its global
+// original.
+func (s *Shard) GlobalPair(localID int) Pair { return s.Global[localID] }
+
+// Partition is a candidate set split into connected components.
+type Partition struct {
+	// Shards holds one entry per component, indexed by component id.
+	Shards []Shard
+	// shardOf and localID route a global pair ID to its shard and its
+	// position there.
+	shardOf []int32
+	localID []int32
+}
+
+// Locate returns the shard index and local pair ID of a global pair ID.
+func (p *Partition) Locate(globalID int) (shard, local int) {
+	return int(p.shardOf[globalID]), int(p.localID[globalID])
+}
+
+// BuildPartition validates the candidate set and splits it into connected
+// components with a union-find over the pairs' endpoints.
+func BuildPartition(numObjects int, order []Pair) (*Partition, error) {
+	if err := ValidatePairs(numObjects, order); err != nil {
+		return nil, err
+	}
+	parent := make([]int32, numObjects)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range order {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Number components by first appearance in the order and size them, so
+	// the shard slices can be allocated exactly.
+	comp := make([]int32, numObjects)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var pairCounts []int32
+	for _, p := range order {
+		r := find(p.A)
+		if comp[r] == -1 {
+			comp[r] = int32(len(pairCounts))
+			pairCounts = append(pairCounts, 0)
+		}
+		pairCounts[comp[r]]++
+	}
+
+	pt := &Partition{
+		Shards:  make([]Shard, len(pairCounts)),
+		shardOf: make([]int32, len(order)),
+		localID: make([]int32, len(order)),
+	}
+	for c := range pt.Shards {
+		pt.Shards[c] = Shard{
+			Component: c,
+			Order:     make([]Pair, 0, pairCounts[c]),
+			Global:    make([]Pair, 0, pairCounts[c]),
+		}
+	}
+	// localObj is shared across shards: every object belongs to exactly one
+	// component, so one array suffices.
+	localObj := make([]int32, numObjects)
+	for i := range localObj {
+		localObj[i] = -1
+	}
+	for _, p := range order {
+		c := comp[find(p.A)]
+		s := &pt.Shards[c]
+		for _, o := range [2]int32{p.A, p.B} {
+			if localObj[o] == -1 {
+				localObj[o] = int32(s.NumObjects)
+				s.NumObjects++
+				s.Objects = append(s.Objects, o)
+			}
+		}
+		pt.shardOf[p.ID] = int32(c)
+		pt.localID[p.ID] = int32(len(s.Order))
+		s.Order = append(s.Order, Pair{
+			ID:         len(s.Order),
+			A:          localObj[p.A],
+			B:          localObj[p.B],
+			Likelihood: p.Likelihood,
+		})
+		s.Global = append(s.Global, p)
+	}
+	return pt, nil
+}
+
+// shardRunOpts builds the per-shard RunOpts: same context, progress events
+// translated back to global pairs, stamped with the component id, and
+// serialized through mu (shards run on concurrent goroutines, the
+// subscriber is one callback).
+func (s *Shard) shardRunOpts(ctx context.Context, progress func(Event), mu *sync.Mutex) RunOpts {
+	ro := RunOpts{Ctx: ctx}
+	if progress != nil {
+		ro.Progress = func(e Event) {
+			if e.Kind != EventRoundPublished {
+				e.Pair = s.Global[e.Pair.ID]
+			}
+			e.Component = s.Component
+			mu.Lock()
+			progress(e)
+			mu.Unlock()
+		}
+	}
+	return ro
+}
+
+// shardOracle presents the crowd with global pairs: the shard drivers work
+// in local coordinates, but questions, journals, and answers must speak
+// global object ids.
+type shardOracle struct {
+	inner Oracle
+	s     *Shard
+}
+
+func (o shardOracle) Label(p Pair) Label { return o.inner.Label(o.s.Global[p.ID]) }
+
+// shardBatchOracle is shardOracle for whole rounds.
+type shardBatchOracle struct {
+	inner BatchOracle
+	s     *Shard
+}
+
+func (o shardBatchOracle) LabelBatch(ps []Pair) []Label {
+	global := make([]Pair, len(ps))
+	for i, p := range ps {
+		global[i] = o.s.Global[p.ID]
+	}
+	return o.inner.LabelBatch(global)
+}
+
+// runShards executes fn(shard) for every shard on min(k, len(shards))
+// worker goroutines. Larger shards are scheduled first to shorten the
+// makespan; scheduling order never affects results (each shard is an
+// independent subproblem and the merge is keyed by global pair ID). On a
+// hard shard failure the shared context is cancelled so sibling shards
+// stop consulting the crowd; the lowest-numbered failure is returned for
+// determinism.
+func runShards(pt *Partition, k int, ro RunOpts, fn func(s *Shard, ro RunOpts) error) error {
+	ctx := ro.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	byLoad := make([]int, len(pt.Shards))
+	for i := range byLoad {
+		byLoad[i] = i
+	}
+	slices.SortStableFunc(byLoad, func(a, b int) int {
+		return len(pt.Shards[b].Order) - len(pt.Shards[a].Order)
+	})
+
+	// Clamp to [1, len(shards)]: k <= 0 must not silently run nothing and
+	// return an all-Unlabeled result with a nil error.
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pt.Shards) {
+		k = len(pt.Shards)
+	}
+	var progressMu sync.Mutex
+	errs := make([]error, len(pt.Shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(byLoad) {
+					return
+				}
+				s := &pt.Shards[byLoad[i]]
+				if err := fn(s, s.shardRunOpts(ctx, ro.Progress, &progressMu)); err != nil {
+					errs[s.Component] = err
+					cancel() // hard failure: stop sibling shards (no-op if already cancelled)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cancellation of the caller's context is reported once, after every
+	// shard has swept its deductions; a shard's own hard error wins over
+	// the secondary cancellations it triggered.
+	for _, err := range errs {
+		if err != nil && err != ctx.Err() {
+			return err
+		}
+	}
+	return ro.err()
+}
+
+// mergeShardResult scatters a shard's local result into the global one.
+func mergeShardResult(dst *Result, s *Shard, r *Result) {
+	for localID, l := range r.Labels {
+		gid := s.Global[localID].ID
+		dst.Labels[gid] = l
+		dst.Crowdsourced[gid] = r.Crowdsourced[localID]
+	}
+	dst.NumCrowdsourced += r.NumCrowdsourced
+	dst.NumDeduced += r.NumDeduced
+}
+
+// addRoundSizes accumulates a shard's per-round batch sizes into the
+// global series, index-aligned: the global Algorithm-3 round i is the
+// union of every shard's round i.
+func addRoundSizes(agg []int, rounds []int) []int {
+	for i, sz := range rounds {
+		if i == len(agg) {
+			agg = append(agg, 0)
+		}
+		agg[i] += sz
+	}
+	return agg
+}
+
+// LabelShardedSequentialRun runs the sequential labeler independently on
+// every connected component of the candidate graph, k components at a
+// time. The oracle must be safe for concurrent use when k > 1. The merged
+// result is identical to LabelSequentialRun's for any oracle whose answer
+// to a pair does not depend on the order questions are asked in
+// (deduction never crosses components, so the per-component question
+// sequences are exactly the global sequence split by component).
+func LabelShardedSequentialRun(numObjects int, order []Pair, oracle Oracle, k int, ro RunOpts) (*Result, error) {
+	pt, err := BuildPartition(numObjects, order)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(len(order))
+	var mu sync.Mutex
+	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+		r, err := LabelSequentialRun(s.NumObjects, s.Order, shardOracle{oracle, s}, sro)
+		if r != nil {
+			mu.Lock()
+			mergeShardResult(res, s, r)
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil && err != ro.err() {
+		return nil, err // hard failure, matching the unsharded driver
+	}
+	return res, err
+}
+
+// LabelShardedParallelRun runs the parallel labeler (Algorithms 2–3)
+// independently on every connected component, k components at a time. The
+// batch oracle must be safe for concurrent use when k > 1; each shard's
+// rounds are its own, so a shard never waits on another shard's answers —
+// the cross-component round barrier of the global driver disappears.
+// RoundSizes are merged per round index, reproducing the global driver's
+// series for order-insensitive oracles.
+func LabelShardedParallelRun(numObjects int, order []Pair, oracle BatchOracle, k int, ro RunOpts) (*ParallelResult, error) {
+	pt, err := BuildPartition(numObjects, order)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{Result: *newResult(len(order))}
+	var mu sync.Mutex
+	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+		r, err := LabelParallelRun(s.NumObjects, s.Order, shardBatchOracle{oracle, s}, sro)
+		if r != nil {
+			mu.Lock()
+			mergeShardResult(&res.Result, s, &r.Result)
+			res.RoundSizes = addRoundSizes(res.RoundSizes, r.RoundSizes)
+			res.Conflicts += r.Conflicts
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil && err != ro.err() {
+		return nil, err
+	}
+	return res, err
+}
+
+// LabelShardedOneToOneRun runs the one-to-one sequential labeler
+// independently on every connected component, k components at a time. The
+// one-to-one constraint is component-local — every pair touching an object
+// lives in that object's component — so sharding preserves it exactly.
+func LabelShardedOneToOneRun(numObjects int, order []Pair, oracle Oracle, k int, ro RunOpts) (*OneToOneResult, error) {
+	pt, err := BuildPartition(numObjects, order)
+	if err != nil {
+		return nil, err
+	}
+	res := &OneToOneResult{Result: *newResult(len(order))}
+	var mu sync.Mutex
+	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+		r, err := LabelSequentialOneToOneRun(s.NumObjects, s.Order, shardOracle{oracle, s}, sro)
+		if r != nil {
+			mu.Lock()
+			mergeShardResult(&res.Result, s, &r.Result)
+			res.NumConstraintDeduced += r.NumConstraintDeduced
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil && err != ro.err() {
+		return nil, err
+	}
+	return res, err
+}

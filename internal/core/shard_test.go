@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomShardWorkload builds a multi-component candidate set: objects are
+// grouped into entities, pairs are drawn mostly within entity neighborhoods
+// so the candidate graph splits into several connected components, and
+// likelihoods correlate with the truth (matching pairs high).
+func randomShardWorkload(rng *rand.Rand) (numObjects int, order []Pair, truth *TruthOracle) {
+	numObjects = 20 + rng.Intn(60)
+	entity := make([]int32, numObjects)
+	numEntities := 2 + rng.Intn(numObjects/2)
+	for i := range entity {
+		entity[i] = int32(rng.Intn(numEntities))
+	}
+	numPairs := numObjects/2 + rng.Intn(2*numObjects)
+	pairs := make([]Pair, 0, numPairs)
+	for len(pairs) < numPairs {
+		a := int32(rng.Intn(numObjects))
+		// Mostly local pairs, so the graph fractures into components.
+		b := a + int32(rng.Intn(7)) - 3
+		if rng.Intn(8) == 0 {
+			b = int32(rng.Intn(numObjects))
+		}
+		if b < 0 || b >= int32(numObjects) || a == b {
+			continue
+		}
+		lik := 0.55 + 0.45*rng.Float64()
+		if entity[a] != entity[b] {
+			lik = 0.45 * rng.Float64()
+		}
+		if rng.Intn(10) == 0 {
+			lik = rng.Float64() // noise: sometimes the machine is wrong
+		}
+		pairs = append(pairs, Pair{ID: len(pairs), A: a, B: b, Likelihood: lik})
+	}
+	return numObjects, ExpectedOrder(pairs), &TruthOracle{Entity: entity}
+}
+
+func TestBuildPartitionStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		numObjects, order, _ := randomShardWorkload(rng)
+		pt, err := BuildPartition(numObjects, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for c := range pt.Shards {
+			s := &pt.Shards[c]
+			if s.Component != c {
+				t.Fatalf("shard %d has component id %d", c, s.Component)
+			}
+			if err := ValidatePairs(s.NumObjects, s.Order); err != nil {
+				t.Fatalf("shard %d order invalid: %v", c, err)
+			}
+			if len(s.Order) != len(s.Global) {
+				t.Fatalf("shard %d: %d local pairs, %d global", c, len(s.Order), len(s.Global))
+			}
+			if len(s.Objects) != s.NumObjects {
+				t.Fatalf("shard %d: %d object mappings for %d objects", c, len(s.Objects), s.NumObjects)
+			}
+			prevGlobalPos := -1
+			for i, lp := range s.Order {
+				if lp.ID != i {
+					t.Fatalf("shard %d local pair %d has ID %d", c, i, lp.ID)
+				}
+				gp := s.Global[i]
+				if s.Objects[lp.A] != gp.A || s.Objects[lp.B] != gp.B || lp.Likelihood != gp.Likelihood {
+					t.Fatalf("shard %d pair %d: local %v does not mirror global %v", c, i, lp, gp)
+				}
+				si, li := pt.Locate(gp.ID)
+				if si != c || li != i {
+					t.Fatalf("Locate(%d) = (%d,%d), want (%d,%d)", gp.ID, si, li, c, i)
+				}
+				// Relative order must match the global order.
+				pos := posInOrder(order, gp.ID)
+				if pos <= prevGlobalPos {
+					t.Fatalf("shard %d breaks the global order: pair %v at global pos %d after %d", c, gp, pos, prevGlobalPos)
+				}
+				prevGlobalPos = pos
+			}
+			total += len(s.Order)
+		}
+		if total != len(order) {
+			t.Fatalf("shards hold %d pairs, order has %d", total, len(order))
+		}
+		// No object may appear in two shards.
+		seen := make(map[int32]int)
+		for c := range pt.Shards {
+			for _, o := range pt.Shards[c].Objects {
+				if prev, ok := seen[o]; ok && prev != c {
+					t.Fatalf("object %d in shards %d and %d", o, prev, c)
+				}
+				seen[o] = c
+			}
+		}
+	}
+}
+
+func posInOrder(order []Pair, id int) int {
+	for pos, p := range order {
+		if p.ID == id {
+			return pos
+		}
+	}
+	return -1
+}
+
+// flakyOracle answers wrongly on a deterministic, order-independent subset
+// of pairs, so sharded and unsharded runs see identical per-pair answers
+// while conflicts still occur.
+type flakyOracle struct {
+	truth *TruthOracle
+}
+
+func (f flakyOracle) Label(p Pair) Label {
+	l := f.truth.Label(p)
+	if (int64(p.A)*2654435761+int64(p.B)*40503)%13 == 0 {
+		if l == Matching {
+			return NonMatching
+		}
+		return Matching
+	}
+	return l
+}
+
+// TestShardedDriversMatchUnsharded is the randomized differential suite:
+// for every strategy the sharded driver must reproduce the unsharded
+// driver's result exactly — labels, crowdsourced flags, counters, and (for
+// parallel) the per-round series — at several concurrency levels,
+// including flaky crowds.
+func TestShardedDriversMatchUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 40; trial++ {
+		numObjects, order, truth := randomShardWorkload(rng)
+		oracles := []Oracle{truth, flakyOracle{truth}}
+		oracle := oracles[trial%len(oracles)]
+		for _, k := range []int{1, 2, 4, 16} {
+			seq, err := LabelSequentialRun(numObjects, order, oracle, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sseq, err := LabelShardedSequentialRun(numObjects, order, oracle, k, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, sseq) {
+				t.Fatalf("trial %d k=%d: sharded sequential diverged:\n%+v\nvs\n%+v", trial, k, sseq, seq)
+			}
+
+			par, err := LabelParallelRun(numObjects, order, Batched(oracle), RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spar, err := LabelShardedParallelRun(numObjects, order, Batched(oracle), k, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Result, spar.Result) || par.Conflicts != spar.Conflicts {
+				t.Fatalf("trial %d k=%d: sharded parallel result diverged", trial, k)
+			}
+			if !equalIntSlices(par.RoundSizes, spar.RoundSizes) {
+				t.Fatalf("trial %d k=%d: round sizes %v, want %v", trial, k, spar.RoundSizes, par.RoundSizes)
+			}
+
+			oto, err := LabelSequentialOneToOneRun(numObjects, order, oracle, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			soto, err := LabelShardedOneToOneRun(numObjects, order, oracle, k, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(oto, soto) {
+				t.Fatalf("trial %d k=%d: sharded one-to-one diverged", trial, k)
+			}
+		}
+	}
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedPlatformMatchesUnsharded pins the component-interleaved
+// platform driver against the global one on labels, crowdsourced flags,
+// and conflict counts, across selection policies and option combinations.
+// (Publish traces legitimately differ: the sharded driver splits publish
+// events per component.)
+func TestShardedPlatformMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	policies := []SelectionPolicy{SelectFIFO, SelectAscendingLikelihood}
+	optss := []PlatformOptions{
+		{},
+		{Instant: true},
+		{Instant: true, IncrementalScan: true},
+		{Instant: true, IncrementalDeduce: true},
+		{Instant: true, IncrementalScan: true, IncrementalDeduce: true},
+	}
+	for trial := 0; trial < 20; trial++ {
+		numObjects, order, truth := randomShardWorkload(rng)
+		oracles := []Oracle{truth, flakyOracle{truth}}
+		oracle := oracles[trial%len(oracles)]
+		for _, policy := range policies {
+			for _, opts := range optss {
+				base, err := LabelOnPlatformRun(numObjects, order, NewSimPlatform(oracle, policy, nil), opts, RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sharded, err := LabelShardedOnPlatformRun(numObjects, order, NewSimPlatform(oracle, policy, nil), opts, RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base.Labels, sharded.Labels) {
+					t.Fatalf("trial %d policy=%v opts=%+v: labels diverged", trial, policy, opts)
+				}
+				if !reflect.DeepEqual(base.Crowdsourced, sharded.Crowdsourced) ||
+					base.NumCrowdsourced != sharded.NumCrowdsourced ||
+					base.NumDeduced != sharded.NumDeduced ||
+					base.Conflicts != sharded.Conflicts {
+					t.Fatalf("trial %d policy=%v opts=%+v: cost diverged: crowdsourced %d vs %d, deduced %d vs %d, conflicts %d vs %d",
+						trial, policy, opts,
+						base.NumCrowdsourced, sharded.NumCrowdsourced,
+						base.NumDeduced, sharded.NumDeduced,
+						base.Conflicts, sharded.Conflicts)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedProgressEventsCarryComponents checks that every event of a
+// sharded run carries the component id of its pair and global coordinates.
+func TestShardedProgressEventsCarryComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	numObjects, order, truth := randomShardWorkload(rng)
+	pt, err := BuildPartition(numObjects, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int]Pair, len(order))
+	for _, p := range order {
+		byID[p.ID] = p
+	}
+	var events []Event
+	ro := RunOpts{Progress: func(e Event) { events = append(events, e) }}
+	res, err := LabelShardedParallelRun(numObjects, order, Batched(truth), 4, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCrowdsourced+res.NumDeduced != len(order) {
+		t.Fatalf("short result: %d+%d labels for %d pairs", res.NumCrowdsourced, res.NumDeduced, len(order))
+	}
+	pairEvents := 0
+	for _, e := range events {
+		if e.Kind == EventRoundPublished {
+			if e.Component < 0 || e.Component >= len(pt.Shards) {
+				t.Fatalf("round event carries component %d of %d", e.Component, len(pt.Shards))
+			}
+			continue
+		}
+		pairEvents++
+		want, ok := byID[e.Pair.ID]
+		if !ok || want != e.Pair {
+			t.Fatalf("event pair %v is not the global pair %v", e.Pair, want)
+		}
+		si, _ := pt.Locate(e.Pair.ID)
+		if si != e.Component {
+			t.Fatalf("event for pair %v carries component %d, want %d", e.Pair, e.Component, si)
+		}
+	}
+	if pairEvents != len(order) {
+		t.Fatalf("saw %d pair events for %d pairs", pairEvents, len(order))
+	}
+}
+
+// TestShardedCancellation: a cancelled sharded run returns the context
+// error and a consistent partial result — every label present is the
+// truth's (perfect crowd), nothing is double-counted, and unreached pairs
+// stay Unlabeled.
+func TestShardedCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		numObjects, order, truth := randomShardWorkload(rng)
+		ctx, cancel := context.WithCancel(context.Background())
+		stopAfter := 1 + rng.Intn(8) // early enough that most trials cancel mid-run
+		seen := 0
+		ro := RunOpts{Ctx: ctx, Progress: func(e Event) {
+			if e.Kind == EventPairCrowdsourced {
+				if seen++; seen == stopAfter {
+					cancel()
+				}
+			}
+		}}
+		res, err := LabelShardedSequentialRun(numObjects, order, truth, 3, ro)
+		cancel()
+		if err != context.Canceled && err != nil {
+			t.Fatalf("trial %d: err = %v, want context.Canceled or nil", trial, err)
+		}
+		labeled := 0
+		for _, p := range order {
+			switch res.Labels[p.ID] {
+			case Unlabeled:
+				continue
+			case LabelOf(truth.Matches(p.A, p.B)):
+				labeled++
+			default:
+				t.Fatalf("trial %d: pair %v labeled %v against truth", trial, p, res.Labels[p.ID])
+			}
+		}
+		if got := res.NumCrowdsourced + res.NumDeduced; got != labeled {
+			t.Fatalf("trial %d: counters %d, labeled %d", trial, got, labeled)
+		}
+		if err == nil && labeled != len(order) {
+			t.Fatalf("trial %d: nil error but only %d of %d pairs labeled", trial, labeled, len(order))
+		}
+	}
+}

@@ -21,6 +21,10 @@ type Platform struct {
 
 	workers []*worker
 	open    []*hit // HITs with unclaimed assignments
+	// hitPool recycles completed hit structs (and their votes/workers
+	// slices), so a long run allocates one hit per concurrently open HIT
+	// rather than one per published HIT.
+	hitPool []*hit
 	results []labeledPair
 	// buffer accumulates published pairs until a full HIT's worth is
 	// available; a partial HIT is flushed only when the platform would
@@ -56,15 +60,28 @@ type worker struct {
 	skill     float64
 	busy      bool
 	scheduled bool
-	done      map[*hit]bool
 }
 
 type hit struct {
 	pairs     []core.Pair
 	claimed   int
 	remaining int
-	votes     []int // per pair: count of "matching" answers
-	answered  int   // assignments submitted
+	votes     []int   // per pair: count of "matching" answers
+	workers   []int32 // ids of workers who claimed an assignment
+	answered  int     // assignments submitted
+}
+
+// workedBy reports whether worker w already claimed an assignment on h.
+// The list is at most Assignments long, so a linear scan beats the map of
+// HIT pointers it replaced — and, unlike the map, it lets completed hit
+// structs be pooled without leaving stale entries behind.
+func (h *hit) workedBy(w int) bool {
+	for _, id := range h.workers {
+		if int(id) == w {
+			return true
+		}
+	}
+	return false
 }
 
 // NewPlatform builds a platform over the given ground truth.
@@ -102,7 +119,7 @@ func (p *Platform) recruitWorkers() {
 		for attempt := 1; attempt < maxQualificationAttempts && p.failsScreen(skill); attempt++ {
 			skill = p.drawSkill() // failed the three-pair screen; redraw
 		}
-		p.workers = append(p.workers, &worker{id: len(p.workers), skill: skill, done: make(map[*hit]bool)})
+		p.workers = append(p.workers, &worker{id: len(p.workers), skill: skill})
 	}
 }
 
@@ -125,23 +142,29 @@ func (p *Platform) failsScreen(skill float64) bool {
 // trailing partial chunk stays buffered until more pairs arrive or the
 // platform runs out of other work (see NextLabel).
 //
+// The assembly is batched: all full chunks of one Publish call share a
+// single backing allocation, hit structs come from the pool, and the
+// idle-worker kick runs once per call instead of once per HIT (the extra
+// kicks were no-ops anyway — the first kick schedules every idle worker).
 // The buffer is compacted in place after draining full chunks (instead of
 // re-slicing past them), so a long publish stream never pins the consumed
 // prefix of the backing array for the life of the run.
 func (p *Platform) Publish(ps []core.Pair) {
 	p.published += len(ps)
 	p.buffer = append(p.buffer, ps...)
-	consumed := 0
-	for len(p.buffer)-consumed >= p.cfg.BatchSize {
-		hitPairs := make([]core.Pair, p.cfg.BatchSize)
-		copy(hitPairs, p.buffer[consumed:consumed+p.cfg.BatchSize])
-		consumed += p.cfg.BatchSize
-		p.publishHIT(hitPairs)
+	full := len(p.buffer) / p.cfg.BatchSize
+	if full == 0 {
+		return
 	}
-	if consumed > 0 {
-		n := copy(p.buffer, p.buffer[consumed:])
-		p.buffer = p.buffer[:n]
+	consumed := full * p.cfg.BatchSize
+	backing := make([]core.Pair, consumed)
+	copy(backing, p.buffer[:consumed])
+	for i := 0; i < full; i++ {
+		p.addHIT(backing[i*p.cfg.BatchSize : (i+1)*p.cfg.BatchSize : (i+1)*p.cfg.BatchSize])
 	}
+	n := copy(p.buffer, p.buffer[consumed:])
+	p.buffer = p.buffer[:n]
+	p.kickIdleWorkers()
 }
 
 // flushPartial turns any buffered pairs into a final, partially filled HIT.
@@ -152,7 +175,8 @@ func (p *Platform) flushPartial() {
 	hitPairs := make([]core.Pair, len(p.buffer))
 	copy(hitPairs, p.buffer)
 	p.buffer = p.buffer[:0]
-	p.publishHIT(hitPairs)
+	p.addHIT(hitPairs)
+	p.kickIdleWorkers()
 }
 
 // PublishAsOneHIT publishes all pairs as a single HIT regardless of
@@ -163,18 +187,34 @@ func (p *Platform) PublishAsOneHIT(ps []core.Pair) {
 		return
 	}
 	p.published += len(ps)
-	p.publishHIT(append([]core.Pair(nil), ps...))
+	p.addHIT(append([]core.Pair(nil), ps...))
+	p.kickIdleWorkers()
 }
 
-func (p *Platform) publishHIT(pairs []core.Pair) {
-	h := &hit{
-		pairs:     pairs,
-		remaining: p.cfg.Assignments,
-		votes:     make([]int, len(pairs)),
+// addHIT opens a HIT over pairs (ownership of the slice passes to the HIT
+// log). The caller kicks the idle workers once all of a publish's HITs are
+// added.
+func (p *Platform) addHIT(pairs []core.Pair) {
+	var h *hit
+	if n := len(p.hitPool); n > 0 {
+		h = p.hitPool[n-1]
+		p.hitPool = p.hitPool[:n-1]
+		h.claimed = 0
+		h.answered = 0
+		h.workers = h.workers[:0]
+		if cap(h.votes) >= len(pairs) {
+			h.votes = h.votes[:len(pairs)]
+			clear(h.votes)
+		} else {
+			h.votes = make([]int, len(pairs))
+		}
+	} else {
+		h = &hit{votes: make([]int, len(pairs))}
 	}
+	h.pairs = pairs
+	h.remaining = p.cfg.Assignments
 	p.open = append(p.open, h)
 	p.hitLog = append(p.hitLog, pairs)
-	p.kickIdleWorkers()
 }
 
 // kickIdleWorkers schedules a pickup attempt for every idle, unscheduled
@@ -206,12 +246,12 @@ func (p *Platform) tryPickup(w *worker) {
 		return
 	}
 	for _, h := range p.open {
-		if h.claimed >= p.cfg.Assignments || w.done[h] {
+		if h.claimed >= p.cfg.Assignments || h.workedBy(w.id) {
 			continue
 		}
 		h.claimed++
 		w.busy = true
-		w.done[h] = true
+		h.workers = append(h.workers, int32(w.id))
 		service := p.cfg.ServiceFloorHours + p.exp(p.cfg.ServiceMeanHours)
 		h := h
 		p.engine.Schedule(service, func() { p.submit(w, h) })
@@ -246,6 +286,8 @@ func (p *Platform) submit(w *worker, h *hit) {
 func (p *Platform) finalize(h *hit) {
 	for i := range p.open {
 		if p.open[i] == h {
+			// Order-preserving removal: pickup priority is front-of-queue,
+			// and changing it would change the simulation's outcomes.
 			p.open = append(p.open[:i], p.open[i+1:]...)
 			break
 		}
@@ -257,6 +299,8 @@ func (p *Platform) finalize(h *hit) {
 		}
 		p.results = append(p.results, labeledPair{pair: pair, label: label})
 	}
+	h.pairs = nil // retained by hitLog, not the pool
+	p.hitPool = append(p.hitPool, h)
 }
 
 // NextLabel implements core.Platform: it advances simulated time until the

@@ -146,9 +146,10 @@ type Join struct {
 	batch    BatchOracle
 	platform Platform
 
-	instant   bool
-	incScan   bool
-	incDeduce bool
+	instant     bool
+	incScan     bool
+	incDeduce   bool
+	concurrency int
 
 	progress func(Event)
 	journal  io.ReadWriter
@@ -273,6 +274,39 @@ func WithIncrementalPlatform(scan, deduce bool) JoinOption {
 	return func(j *Join) { j.incScan, j.incDeduce = scan, deduce }
 }
 
+// WithConcurrency shards the session by connected component of the
+// candidate graph: transitive deduction never crosses components, so each
+// component can run the paper's single-order algorithm independently while
+// k components consult the crowd at once.
+//
+// k = 1 (the default) is exactly the unsharded driver — byte-identical
+// results. With k > 1:
+//
+//   - Sequential, parallel, and one-to-one strategies run k component
+//     subproblems on concurrent goroutines; the configured Oracle or
+//     BatchOracle must be safe for concurrent use. A component never waits
+//     on another component's crowd answers, so a slow round in one cluster
+//     of the data no longer gates the rest.
+//   - PlatformStrategy interleaves per-component publish rounds on the one
+//     platform (the driver itself stays single-threaded; the parallelism
+//     is in the crowd, which sees every component's mandatory pairs
+//     without cross-component round barriers).
+//   - Labels, crowdsourced flags, and counters are merged
+//     deterministically by pair; for crowds whose answer to a pair does
+//     not depend on question order, results are identical to k = 1.
+//   - Progress events carry the component id in Event.Component.
+//   - BudgetStrategy is rejected: its budget is a global constraint and
+//     cannot be split across components without changing semantics.
+func WithConcurrency(k int) JoinOption {
+	return func(j *Join) {
+		if k < 1 {
+			j.setErr(fmt.Errorf("crowdjoin: WithConcurrency(%d): k must be at least 1", k))
+			return
+		}
+		j.concurrency = k
+	}
+}
+
 // WithProgress subscribes fn to the session's progress stream. fn is called
 // synchronously from the labeling loop.
 func WithProgress(fn func(Event)) JoinOption {
@@ -302,9 +336,10 @@ func WithJournal(rw io.ReadWriter) JoinOption {
 // WithTextsAcross) and a crowd backend matching the strategy.
 func NewJoin(opts ...JoinOption) (*Join, error) {
 	j := &Join{
-		strategy: SequentialStrategy,
-		ordering: OrderExpected,
-		matcher:  Matcher{Threshold: 0.3},
+		strategy:    SequentialStrategy,
+		ordering:    OrderExpected,
+		matcher:     Matcher{Threshold: 0.3},
+		concurrency: 1,
 	}
 	for _, o := range opts {
 		o(j)
@@ -314,6 +349,9 @@ func NewJoin(opts ...JoinOption) (*Join, error) {
 	}
 	if !j.havePairs && !j.haveTexts {
 		return nil, errors.New("crowdjoin: no input configured; use WithPairs, WithTexts, or WithTextsAcross")
+	}
+	if j.concurrency > 1 && j.strategy.kind == strategyBudget {
+		return nil, errors.New("crowdjoin: WithConcurrency > 1 is incompatible with BudgetStrategy (the budget is a global constraint)")
 	}
 	switch j.strategy.kind {
 	case strategyPlatform:
@@ -399,6 +437,10 @@ type JoinResult struct {
 	// Replayed counts crowd answers served from the journal instead of the
 	// crowd (sessions resumed via WithJournal).
 	Replayed int
+	// Components is the number of connected components the candidate graph
+	// split into, on component-sharded runs (WithConcurrency > 1); 0
+	// otherwise.
+	Components int
 	// Partial is true when the run was cancelled: Labels may contain
 	// Unlabeled pairs, but every label present is consistent and every
 	// deduction implied by the collected answers has been applied.
@@ -496,16 +538,39 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 
 	ro := core.RunOpts{Ctx: runCtx, Progress: j.progress}
 	res := &JoinResult{NumObjects: j.numObjects, Order: order}
+	sharded := j.concurrency > 1
+	if sharded {
+		// Count the components once for the result; the sharded drivers
+		// rebuild the partition internally (it is cheap relative to any
+		// crowd interaction).
+		pt, err := core.BuildPartition(j.numObjects, order)
+		if err != nil {
+			return nil, err
+		}
+		res.Components = len(pt.Shards)
+	}
 	var runErr error
 	switch j.strategy.kind {
 	case strategySequential:
-		r, err := core.LabelSequentialRun(j.numObjects, order, session.singleOracle(), ro)
+		var r *core.Result
+		var err error
+		if sharded {
+			r, err = core.LabelShardedSequentialRun(j.numObjects, order, session.singleOracle(), j.concurrency, ro)
+		} else {
+			r, err = core.LabelSequentialRun(j.numObjects, order, session.singleOracle(), ro)
+		}
 		runErr = err
 		if r != nil {
 			res.fill(r)
 		}
 	case strategyParallel:
-		r, err := core.LabelParallelRun(j.numObjects, order, session.batchOracle(), ro)
+		var r *core.ParallelResult
+		var err error
+		if sharded {
+			r, err = core.LabelShardedParallelRun(j.numObjects, order, session.batchOracle(), j.concurrency, ro)
+		} else {
+			r, err = core.LabelParallelRun(j.numObjects, order, session.batchOracle(), ro)
+		}
 		runErr = err
 		if r != nil {
 			res.fill(&r.Result)
@@ -514,7 +579,13 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		}
 	case strategyPlatform:
 		opts := PlatformOptions{Instant: j.instant, IncrementalScan: j.incScan, IncrementalDeduce: j.incDeduce}
-		r, err := core.LabelOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+		var r *core.TraceResult
+		var err error
+		if sharded {
+			r, err = core.LabelShardedOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+		} else {
+			r, err = core.LabelOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+		}
 		runErr = err
 		if r != nil {
 			res.fill(&r.Result)
@@ -523,7 +594,13 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			res.Conflicts = r.Conflicts
 		}
 	case strategyOneToOne:
-		r, err := core.LabelSequentialOneToOneRun(j.numObjects, order, session.singleOracle(), ro)
+		var r *core.OneToOneResult
+		var err error
+		if sharded {
+			r, err = core.LabelShardedOneToOneRun(j.numObjects, order, session.singleOracle(), j.concurrency, ro)
+		} else {
+			r, err = core.LabelSequentialOneToOneRun(j.numObjects, order, session.singleOracle(), ro)
+		}
 		runErr = err
 		if r != nil {
 			res.fill(&r.Result)
@@ -541,7 +618,7 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		return nil, fmt.Errorf("crowdjoin: unknown strategy %v", j.strategy)
 	}
 	if jrn != nil {
-		res.Replayed = jrn.replayed
+		res.Replayed = jrn.replayedCount()
 		if jrn.werr != nil {
 			werr := fmt.Errorf("crowdjoin: journal append: %w", jrn.werr)
 			if res.Labels == nil {

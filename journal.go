@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // The label journal is the session checkpoint layer: an append-only,
@@ -47,8 +48,13 @@ func keyOf(a, b int32) pairKey {
 }
 
 // journalState is one session's view of a label journal: the replay map
-// read at open, plus the append side.
+// read at open, plus the append side. All methods are safe for concurrent
+// use: a component-sharded session (WithConcurrency > 1) consults and
+// appends to the one journal from several shard goroutines. Shards own
+// disjoint pairs, so the serialization order of their appends never
+// matters for replay.
 type journalState struct {
+	mu         sync.Mutex
 	answers    map[pairKey]Label
 	w          io.Writer
 	numObjects int
@@ -144,8 +150,25 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 
 // lookup returns the journaled answer for (a, b), if any.
 func (j *journalState) lookup(a, b int32) (Label, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	l, ok := j.answers[keyOf(a, b)]
 	return l, ok
+}
+
+// countReplay records that one journaled answer was served in place of a
+// crowd question.
+func (j *journalState) countReplay() {
+	j.mu.Lock()
+	j.replayed++
+	j.mu.Unlock()
+}
+
+// replayedCount returns the number of answers served from the journal.
+func (j *journalState) replayedCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
 }
 
 // record appends one crowd answer. Invalid labels are not journaled (the
@@ -153,6 +176,8 @@ func (j *journalState) lookup(a, b int32) (Label, bool) {
 // reported once via onError so the session can stop buying unrecorded
 // answers.
 func (j *journalState) record(p Pair, l Label) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.werr != nil || (l != Matching && l != NonMatching) {
 		return
 	}
@@ -204,7 +229,7 @@ type journalOracle struct {
 // Label implements Oracle.
 func (o *journalOracle) Label(p Pair) Label {
 	if l, ok := o.jrn.lookup(p.A, p.B); ok {
-		o.jrn.replayed++
+		o.jrn.countReplay()
 		return l
 	}
 	l := o.inner.Label(p)
@@ -227,7 +252,7 @@ func (o *journalBatchOracle) LabelBatch(ps []Pair) []Label {
 	for i, p := range ps {
 		if l, ok := o.jrn.lookup(p.A, p.B); ok {
 			out[i] = l
-			o.jrn.replayed++
+			o.jrn.countReplay()
 		} else {
 			miss = append(miss, p)
 			missIdx = append(missIdx, i)
@@ -289,7 +314,7 @@ func (jp *journalPlatform) NextLabel() (Pair, Label, bool) {
 	if jp.head < len(jp.ready) {
 		p, l := jp.ready[jp.head], jp.readyLabels[jp.head]
 		jp.head++
-		jp.jrn.replayed++
+		jp.jrn.countReplay()
 		return p, l, true
 	}
 	p, l, ok := jp.inner.NextLabel()

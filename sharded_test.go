@@ -1,0 +1,257 @@
+package crowdjoin_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"crowdjoin"
+)
+
+// lockedOracle makes an oracle safe for the concurrent shard goroutines of
+// a WithConcurrency(k > 1) session.
+type lockedOracle struct {
+	mu    sync.Mutex
+	inner crowdjoin.Oracle
+	asked int
+}
+
+func (o *lockedOracle) Label(p crowdjoin.Pair) crowdjoin.Label {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.asked++
+	return o.inner.Label(p)
+}
+
+// runJoin builds and runs one session, failing the test on any error.
+func runJoin(t *testing.T, opts ...crowdjoin.JoinOption) *crowdjoin.JoinResult {
+	t.Helper()
+	j, err := crowdjoin.NewJoin(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWithConcurrencyMatchesUnsharded is the session-level differential
+// suite: WithConcurrency(1) must be byte-identical to the default path,
+// and WithConcurrency(k > 1) must reproduce the same labels, crowdsourced
+// flags, counters, clusters, and (for parallel) round series, across
+// strategies and crowds.
+func TestWithConcurrencyMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	strategies := []crowdjoin.Strategy{
+		crowdjoin.SequentialStrategy,
+		crowdjoin.ParallelStrategy,
+		crowdjoin.OneToOneStrategy,
+	}
+	for trial := 0; trial < 12; trial++ {
+		numObjects, pairs, entity := randomJoinCase(rng)
+		oracle := crowdjoin.Oracle(&crowdjoin.TruthOracle{Entity: entity})
+		if trial%3 == 2 {
+			oracle = flakyOracle()
+		}
+		for _, strat := range strategies {
+			base := runJoin(t,
+				crowdjoin.WithPairs(numObjects, pairs),
+				crowdjoin.WithStrategy(strat),
+				crowdjoin.WithOracle(oracle),
+			)
+			one := runJoin(t,
+				crowdjoin.WithPairs(numObjects, pairs),
+				crowdjoin.WithStrategy(strat),
+				crowdjoin.WithOracle(oracle),
+				crowdjoin.WithConcurrency(1),
+			)
+			if !reflect.DeepEqual(base, one) {
+				t.Fatalf("trial %d %v: WithConcurrency(1) is not byte-identical to the default", trial, strat)
+			}
+			for _, k := range []int{2, 5} {
+				sharded := runJoin(t,
+					crowdjoin.WithPairs(numObjects, pairs),
+					crowdjoin.WithStrategy(strat),
+					crowdjoin.WithOracle(&lockedOracle{inner: oracle}),
+					crowdjoin.WithConcurrency(k),
+				)
+				if sharded.Components <= 0 {
+					t.Fatalf("trial %d %v k=%d: Components = %d", trial, strat, k, sharded.Components)
+				}
+				if !reflect.DeepEqual(base.Labels, sharded.Labels) ||
+					!reflect.DeepEqual(base.Crowdsourced, sharded.Crowdsourced) ||
+					base.NumCrowdsourced != sharded.NumCrowdsourced ||
+					base.NumDeduced != sharded.NumDeduced ||
+					base.Conflicts != sharded.Conflicts ||
+					base.NumConstraintDeduced != sharded.NumConstraintDeduced ||
+					!reflect.DeepEqual(base.RoundSizes, sharded.RoundSizes) {
+					t.Fatalf("trial %d %v k=%d: sharded result diverged from unsharded", trial, strat, k)
+				}
+				baseClusters, err := base.Clusters()
+				if err != nil {
+					t.Fatal(err)
+				}
+				shardClusters, err := sharded.Clusters()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(baseClusters, shardClusters) {
+					t.Fatalf("trial %d %v k=%d: clusters diverged", trial, strat, k)
+				}
+			}
+		}
+	}
+}
+
+// TestWithConcurrencyPlatform pins the sharded platform path at the
+// session level: same labels and costs as the unsharded platform run.
+func TestWithConcurrencyPlatform(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 6; trial++ {
+		numObjects, pairs, entity := randomJoinCase(rng)
+		truth := &crowdjoin.TruthOracle{Entity: entity}
+		run := func(k int, instant bool) *crowdjoin.JoinResult {
+			return runJoin(t,
+				crowdjoin.WithPairs(numObjects, pairs),
+				crowdjoin.WithStrategy(crowdjoin.PlatformStrategy),
+				crowdjoin.WithPlatform(crowdjoin.NewSimulatedCrowd(truth, crowdjoin.SelectAscendingLikelihood, nil)),
+				crowdjoin.WithInstantDecisions(instant),
+				crowdjoin.WithConcurrency(k),
+			)
+		}
+		for _, instant := range []bool{false, true} {
+			base := run(1, instant)
+			sharded := run(4, instant)
+			if !reflect.DeepEqual(base.Labels, sharded.Labels) ||
+				base.NumCrowdsourced != sharded.NumCrowdsourced ||
+				base.NumDeduced != sharded.NumDeduced {
+				t.Fatalf("trial %d instant=%v: sharded platform diverged (crowdsourced %d vs %d)",
+					trial, instant, base.NumCrowdsourced, sharded.NumCrowdsourced)
+			}
+		}
+	}
+}
+
+// TestShardedJournalResume: a sharded session cancelled mid-run leaves a
+// journal that a fresh sharded session resumes from — every journaled
+// answer is replayed to its component, zero pairs are re-crowdsourced, and
+// the final result matches an uninterrupted unsharded run.
+func TestShardedJournalResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 8; trial++ {
+		numObjects, pairs, entity := randomJoinCase(rng)
+		truth := &crowdjoin.TruthOracle{Entity: entity}
+
+		want := runJoin(t,
+			crowdjoin.WithPairs(numObjects, pairs),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithOracle(truth),
+		)
+		if want.NumCrowdsourced < 2 {
+			continue
+		}
+
+		// First sharded session: cancel partway through the answers.
+		jrn := &bytes.Buffer{}
+		ctx, cancel := context.WithCancel(context.Background())
+		stopAfter := 1 + rng.Intn(want.NumCrowdsourced-1)
+		var mu sync.Mutex
+		seen := 0
+		j1, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(numObjects, pairs),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithOracle(&lockedOracle{inner: truth}),
+			crowdjoin.WithConcurrency(3),
+			crowdjoin.WithJournal(jrn),
+			crowdjoin.WithProgress(func(e crowdjoin.Event) {
+				if e.Kind == crowdjoin.EventPairCrowdsourced {
+					mu.Lock()
+					if seen++; seen == stopAfter {
+						cancel()
+					}
+					mu.Unlock()
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial, err := j1.Run(ctx)
+		cancel()
+		if err != nil && err != context.Canceled {
+			t.Fatalf("trial %d: first run: %v", trial, err)
+		}
+		if partial == nil {
+			t.Fatalf("trial %d: first run returned no result", trial)
+		}
+
+		// Resume with a fresh sharded session over the same journal: the
+		// journaled answers must replay (routed to their shards) and only
+		// the remainder may reach the crowd.
+		counter := &lockedOracle{inner: truth}
+		j2, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(numObjects, pairs),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithOracle(counter),
+			crowdjoin.WithConcurrency(3),
+			crowdjoin.WithJournal(jrn),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j2.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Labels, res.Labels) ||
+			want.NumCrowdsourced != res.NumCrowdsourced ||
+			want.NumDeduced != res.NumDeduced {
+			t.Fatalf("trial %d: resumed sharded run diverged from uninterrupted run", trial)
+		}
+		if res.Replayed == 0 {
+			t.Fatalf("trial %d: resume replayed nothing (journal had %d answers)", trial, seen)
+		}
+		if counter.asked+res.Replayed != want.NumCrowdsourced {
+			t.Fatalf("trial %d: crowd asked %d + replayed %d != %d crowdsourced",
+				trial, counter.asked, res.Replayed, want.NumCrowdsourced)
+		}
+		if counter.asked > want.NumCrowdsourced-res.Replayed {
+			t.Fatalf("trial %d: resume re-crowdsourced journaled pairs", trial)
+		}
+	}
+}
+
+// TestWithConcurrencyValidation: bad k and incompatible strategies are
+// rejected at NewJoin.
+func TestWithConcurrencyValidation(t *testing.T) {
+	truth := crowdjoin.OracleFunc(func(crowdjoin.Pair) crowdjoin.Label { return crowdjoin.NonMatching })
+	pairs := []crowdjoin.Pair{{ID: 0, A: 0, B: 1, Likelihood: 0.5}}
+	if _, err := crowdjoin.NewJoin(
+		crowdjoin.WithPairs(2, pairs),
+		crowdjoin.WithOracle(truth),
+		crowdjoin.WithConcurrency(0),
+	); err == nil {
+		t.Error("WithConcurrency(0) accepted")
+	}
+	if _, err := crowdjoin.NewJoin(
+		crowdjoin.WithPairs(2, pairs),
+		crowdjoin.WithOracle(truth),
+		crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(1, 0.5)),
+		crowdjoin.WithConcurrency(2),
+	); err == nil {
+		t.Error("WithConcurrency(2) with BudgetStrategy accepted")
+	}
+	if _, err := crowdjoin.NewJoin(
+		crowdjoin.WithPairs(2, pairs),
+		crowdjoin.WithOracle(truth),
+		crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(1, 0.5)),
+		crowdjoin.WithConcurrency(1),
+	); err != nil {
+		t.Errorf("WithConcurrency(1) with BudgetStrategy rejected: %v", err)
+	}
+}

@@ -370,8 +370,9 @@ func BenchmarkAblationPrefixFilter(b *testing.B) {
 // --- Candidate-generation benchmarks (tracked in BENCH_core.json) -------
 //
 // BenchmarkCandidates pins the default auto-routed path on the Paper-scale
-// dataset; the *Prefix* variants pin each prefix route, and *FullIndex*
-// keeps PR 1's default path measurable for the trajectory comparison.
+// dataset; the *Positional* variants pin the size-ordered positional
+// prefix routes (the default since PR 5), and *FullIndex* keeps PR 1's
+// default path measurable for the trajectory comparison.
 
 const benchCandThreshold = 0.3
 
@@ -392,7 +393,7 @@ func BenchmarkCandidates(b *testing.B) {
 	b.ReportMetric(float64(n), "pairs")
 }
 
-func BenchmarkCandidatesPrefixUnweighted(b *testing.B) {
+func BenchmarkCandidatesPositionalUnweighted(b *testing.B) {
 	e := benchEnv(b)
 	d := e.Paper.Dataset
 	s := candgen.NewScorer(d, candgen.Unweighted)
@@ -405,7 +406,7 @@ func BenchmarkCandidatesPrefixUnweighted(b *testing.B) {
 	}
 }
 
-func BenchmarkCandidatesPrefixWeighted(b *testing.B) {
+func BenchmarkCandidatesPositionalWeighted(b *testing.B) {
 	e := benchEnv(b)
 	d := e.Paper.Dataset
 	s := candgen.NewScorer(d, candgen.IDFWeighted)

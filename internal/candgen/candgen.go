@@ -18,12 +18,19 @@
 // generators — every path returns the byte-identical pair set (same pairs,
 // same likelihoods, same order, same dense IDs):
 //
-//   - Prefix filtering (PrefixCandidates, WeightedPrefixCandidates): the
-//     default whenever minThreshold ≥ 0.05. Tokens are ordered globally from
-//     rare to frequent; only a prefix of each record is indexed and probed,
-//     and records whose sizes (or IDF weight totals) are too far apart are
-//     skipped before any merge. The probe loop is sharded across
-//     GOMAXPROCS workers with deterministic merging.
+//   - Size-ordered positional prefix join (PrefixCandidates,
+//     WeightedPrefixCandidates; positional.go): the default whenever
+//     minThreshold ≥ 0.05. Tokens are ordered globally from rare to
+//     frequent and records are processed in size-ascending
+//     (weight-ascending for IDF) order, so the index side of every pair
+//     is the smaller record and only needs its first
+//     |y| − ⌈2t·|y|/(1+t)⌉ + 1 tokens indexed (the AllPairs bound) while
+//     probes scan their full |x| − ⌈t·|x|⌉ + 1 probe prefix. Postings
+//     carry (record, prefix position), and a ppjoin-style positional
+//     upper bound — overlap so far plus the smaller remaining suffix —
+//     kills candidates before the merge-based verifier runs. The probe
+//     loop is sharded across GOMAXPROCS workers with deterministic
+//     merging.
 //   - Full token index (IndexCandidates): used below the routing threshold,
 //     where prefixes degenerate to whole token lists and the global
 //     rarity sort is pure overhead. Lossless for any positive threshold.
@@ -31,13 +38,18 @@
 //     universe; the correctness reference and blocking-ablation baseline.
 //
 // The unweighted prefix bound is the classic one: a pair can reach Jaccard
-// ≥ t only if the records share a token among their first
-// |x| − ⌈t·|x|⌉ + 1 rare-first tokens and |x|, |y| are within a factor t.
-// The IDF-weighted bound generalizes it by replacing set sizes with
-// per-record weight totals W(x) = Σ idf(tok): weighted Jaccard ≥ t implies
-// w(x∩y) ≥ t·max(W(x), W(y)), so each record's prefix extends until the
-// weight remaining after it can no longer reach t·W(x), and the size filter
-// becomes min(W(x), W(y)) ≥ t·max(W(x), W(y)).
+// ≥ t only if the records share a token among their probe prefixes and
+// |x|, |y| are within a factor t; with size-ordered processing the smaller
+// side's requirement tightens to 2t/(1+t) of its size (Jaccard ≥ t forces
+// |x∩y| ≥ t(|x|+|y|)/(1+t) ≥ 2t/(1+t)·|y| when |y| ≤ |x|). The
+// IDF-weighted bounds generalize both by replacing set sizes with
+// per-record weight totals W(x) = Σ idf(tok) and remaining token counts
+// with remaining suffix weights: each record's probe prefix extends until
+// the weight remaining after it drops below t·W(x), its index prefix until
+// the remainder drops below 2t/(1+t)·W(x), and the size filter becomes
+// min(W(x), W(y)) ≥ t·max(W(x), W(y)). Derivations live with the code:
+// positional.go (engine and unweighted bounds) and weighted.go (weighted
+// bounds).
 package candgen
 
 import (
@@ -89,6 +101,13 @@ type Scorer struct {
 	// pairs or run the full index never pay for it.
 	rankOnce  sync.Once
 	rankArena []int32
+	// sufArena parallels rankArena for IDF-weighted scorers: the total
+	// weight of record r's tokens strictly after each rank position —
+	// the "remaining suffix weight" the positional filter and the
+	// weighted prefix/index bounds are phrased in. Built with rankArena
+	// (it depends only on the rank order and idf, not the threshold);
+	// nil for Unweighted.
+	sufArena []float64
 	// numTokens is the distinct-token count, cached at build time.
 	numTokens int
 	// df is the per-token document frequency, counted during tokenization
@@ -172,6 +191,18 @@ func (s *Scorer) ensureRankArena() {
 			slices.SortFunc(s.rankTok(int32(r)), func(a, b int32) int {
 				return cmp.Compare(rank[a], rank[b])
 			})
+		}
+		if s.weighting == IDFWeighted {
+			s.sufArena = make([]float64, len(s.rankArena))
+			for r := 0; r < s.numRecords(); r++ {
+				toks := s.rankTok(int32(r))
+				off := s.offs[r]
+				var suf float64
+				for i := len(toks) - 1; i >= 0; i-- {
+					s.sufArena[off+int32(i)] = suf
+					suf += s.idf[toks[i]]
+				}
+			}
 		}
 	})
 }
@@ -258,10 +289,10 @@ func weightedJaccardMerge(ta, tb []int32, w []float64) float64 {
 // with dense pair IDs assigned in that order. minThreshold must be positive:
 // the inverted index only reaches pairs sharing a token.
 //
-// Candidates is a dispatcher: thresholds ≥ 0.05 route to prefix filtering
-// (weighted or unweighted to match the scorer), lower thresholds to the
-// full token index. All routes return identical results; see the package
-// comment for the routing rules.
+// Candidates is a dispatcher: thresholds ≥ 0.05 route to the size-ordered
+// positional prefix join (weighted or unweighted to match the scorer),
+// lower thresholds to the full token index. All routes return identical
+// results; see the package comment for the routing rules.
 func Candidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)

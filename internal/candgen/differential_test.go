@@ -156,15 +156,16 @@ func TestWeightedPrefixOnPaperShapedData(t *testing.T) {
 }
 
 // TestProbeShardsMatchSerial forces a multi-shard probe (regardless of
-// GOMAXPROCS) and checks the sharded scan emits exactly the serial scan's
-// pairs after the deterministic merge and sort.
+// GOMAXPROCS) through the full-token-index configuration — the one
+// production path probeShards still serves (IndexCandidates) — and checks
+// the sharded scan emits exactly the serial scan's pairs after the
+// deterministic merge and sort. The positional engine's sharding has its
+// own forced-shard suite (TestPositionalShardsMatchSerial).
 func TestProbeShardsMatchSerial(t *testing.T) {
 	d := randomDataset(rand.New(rand.NewSource(23)), 120, false)
 	s := NewScorer(d, Unweighted)
 	const th = 0.25
-	ps := buildPrefixes(s, func(_ int32, sorted []int32) int {
-		return unweightedPrefixLen(len(sorted), th)
-	})
+	ps := s.fullTokenSet()
 	verify := func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, th) }
 	index := buildPostings(s.numTokens, s.numRecords(), nil, ps.prefix)
 	probe := make([]int32, d.Len())

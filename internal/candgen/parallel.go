@@ -46,15 +46,16 @@ func probeWorkers(numProbes int, uni bool) int {
 	return workers
 }
 
-// probeShards splits the probe list into `workers` contiguous shards, scans
-// them concurrently (each shard with its own seen scratch and pair buffer),
-// and concatenates the shard buffers in shard order. The concatenation
-// order is deterministic, and the caller's final SortByLikelihood imposes a
+// runShards splits the probe list into `workers` contiguous shards
+// (boundaries from shardStart), runs scan on each concurrently, and
+// concatenates the shard buffers in shard order. Each scan call allocates
+// its own scratch, so shards never share state. The concatenation order
+// is deterministic, and the caller's final SortByLikelihood imposes a
 // total order on pairs anyway — so results are byte-identical to a serial
 // scan regardless of scheduling.
-func probeShards(numRecords int, ps *prefixSet, index [][]int32, probe []int32, uni bool, verify verifier, workers int) []core.Pair {
+func runShards(probe []int32, uni bool, workers int, scan func(shard []int32) []core.Pair) []core.Pair {
 	if workers <= 1 || len(probe) < 2 {
-		return probeShard(ps, index, probe, uni, make([]int32, numRecords), verify, nil)
+		return scan(probe)
 	}
 	if workers > len(probe) {
 		workers = len(probe)
@@ -67,7 +68,7 @@ func probeShards(numRecords int, ps *prefixSet, index [][]int32, probe []int32, 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w] = probeShard(ps, index, probe[lo:hi], uni, make([]int32, numRecords), verify, nil)
+			results[w] = scan(probe[lo:hi])
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -80,4 +81,24 @@ func probeShards(numRecords int, ps *prefixSet, index [][]int32, probe []int32, 
 		out = append(out, r...)
 	}
 	return out
+}
+
+// positionalShards is the sharded driver for the size-ordered positional
+// engine (positional.go). A probe record only scans postings that precede
+// it in the processing order, so per-record work grows roughly linearly
+// with the record's order position for both dataset shapes — the shard
+// boundaries are √-spaced (shardStart's unipartite mode) to equalize the
+// triangular workload.
+func positionalShards(numRecords int, ps *positionalSet, ix *positionalIndex, verify verifier, workers int) []core.Pair {
+	return runShards(ps.order, true, workers, func(shard []int32) []core.Pair {
+		return positionalProbeShard(ps, ix, shard, make([]int32, numRecords), make([]float64, numRecords), verify, nil)
+	})
+}
+
+// probeShards is the sharded driver for the plain (position-free) probe
+// loop, which the full-token-index path still runs on.
+func probeShards(numRecords int, ps *prefixSet, index [][]int32, probe []int32, uni bool, verify verifier, workers int) []core.Pair {
+	return runShards(probe, uni, workers, func(shard []int32) []core.Pair {
+		return probeShard(ps, index, shard, uni, make([]int32, numRecords), verify, nil)
+	})
 }

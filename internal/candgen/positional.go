@@ -1,0 +1,303 @@
+package candgen
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/dataset"
+)
+
+// This file holds the size-ordered AllPairs engine with ppjoin-style
+// positional filtering — the default prefix-join implementation behind
+// PrefixCandidates and WeightedPrefixCandidates.
+//
+// Records are processed in size-ascending order (weight-ascending for IDF
+// scorers, ties by record id), so when record x probes the index every
+// indexed partner y precedes it in that order and satisfies |y| ≤ |x|
+// (W(y) ≤ W(x)). Two bounds follow:
+//
+//   - Index prefix (AllPairs): Jaccard ≥ t with |x| ≥ |y| forces
+//     |x∩y| ≥ t(|x|+|y|)/(1+t) ≥ 2t/(1+t)·|y|, so y only needs its first
+//     |y| − ⌈2t·|y|/(1+t)⌉ + 1 rare-first tokens in the index — shorter
+//     than the n − ⌈t·n⌉ + 1 probe prefix, which x still probes in full
+//     (by the prefix lemma with the pair's true minimum overlap, y's
+//     index prefix and x's probe prefix must share a token). Weighted:
+//     suffix weight < 2t/(1+t)·W(y) replaces the count bound.
+//   - Positional filter (ppjoin): postings store (record, prefix
+//     position). Both token lists are sorted by the same global rank
+//     order, so at a match of x[i] with y[j] every earlier shared token
+//     was already counted and every later one sits past both positions.
+//     The overlap can therefore never exceed
+//     (overlap so far) + 1 + min(|x|−i−1, |y|−j−1)
+//     (suffix *weights* after i and j for IDF scorers); when that upper
+//     bound cannot reach the pair's minimum overlap the candidate is
+//     killed before the merge-based verifier ever runs, and later
+//     matches of a killed candidate are skipped.
+//
+// Both filters only ever discard pairs whose similarity is provably below
+// the threshold (boundSlack pads every comparison toward keeping the
+// pair), and verification computes the identical expression Similarity
+// does — so the engine stays byte-identical to ExhaustiveCandidates.
+//
+// Bipartite datasets run through the same loop: both sides are indexed
+// (index prefixes only) and both sides probe, with a per-record side
+// check skipping same-source postings; each cross pair is generated
+// exactly once, by its size-order-later record.
+
+// posting is one (record, prefix position) entry of the positional index;
+// pos is the token's position in rec's rank-ordered token list.
+type posting struct {
+	rec int32
+	pos int32
+}
+
+// positionalIndex is a CSR posting table: token id → postings in
+// processing order (so probe scans can stop at the first entry that does
+// not precede the probing record).
+type positionalIndex struct {
+	entries []posting
+	offs    []int32
+}
+
+func (ix *positionalIndex) list(tok int32) []posting {
+	return ix.entries[ix.offs[tok]:ix.offs[tok+1]]
+}
+
+// positionalSet is the per-join state of the size-ordered engine: probe
+// and index prefix lengths over the scorer's rank arena, the processing
+// order, and the weighting-specific bound inputs.
+type positionalSet struct {
+	s     *Scorer
+	t     float64
+	plen  []int32 // probe-prefix length per record
+	iplen []int32 // index-prefix length per record
+	order []int32 // records sorted size-(weight-)ascending, ties by id
+	pos   []int32 // pos[r] = r's slot in order
+	side  []uint8 // bipartite: source per record; nil for unipartite
+	// weighted state; nil for Unweighted scorers:
+	recW []float64 // per-record weight totals (aliases Scorer.recWeight)
+	sufW []float64 // suffix-weight arena (aliases Scorer.sufArena)
+}
+
+// probePrefix returns record r's probe-prefix tokens.
+func (ps *positionalSet) probePrefix(r int32) []int32 {
+	off := ps.s.offs[r]
+	return ps.s.rankArena[off : off+ps.plen[r]]
+}
+
+// indexPrefix returns record r's index-prefix tokens.
+func (ps *positionalSet) indexPrefix(r int32) []int32 {
+	off := ps.s.offs[r]
+	return ps.s.rankArena[off : off+ps.iplen[r]]
+}
+
+// buildPositionalSet prepares the size-ordered engine for one join:
+// rare-first prefixes truncated at the probe and index bounds, the
+// processing order, and (for bipartite datasets) the side table.
+func buildPositionalSet(d *dataset.Dataset, s *Scorer, t float64) *positionalSet {
+	s.ensureRankArena()
+	n := s.numRecords()
+	ps := &positionalSet{
+		s:     s,
+		t:     t,
+		plen:  make([]int32, n),
+		iplen: make([]int32, n),
+		order: make([]int32, n),
+		pos:   make([]int32, n),
+		recW:  s.recWeight,
+		sufW:  s.sufArena,
+	}
+	for r := int32(0); r < int32(n); r++ {
+		sz := s.size(r)
+		if sz == 0 {
+			continue // never probed or indexed: no shared token possible
+		}
+		if ps.sufW == nil {
+			ps.plen[r] = int32(unweightedPrefixLen(sz, t))
+			ps.iplen[r] = int32(unweightedIndexPrefixLen(sz, t))
+		} else {
+			w := ps.recW[r]
+			slack := boundSlack * (1 + w)
+			ps.plen[r] = int32(s.weightedPrefixLenFor(r, t*w-slack))
+			ps.iplen[r] = int32(s.weightedPrefixLenFor(r, 2*t/(1+t)*w-slack))
+		}
+	}
+	for i := range ps.order {
+		ps.order[i] = int32(i)
+	}
+	slices.SortFunc(ps.order, func(a, b int32) int {
+		if ps.sufW == nil {
+			if c := cmp.Compare(s.size(a), s.size(b)); c != 0 {
+				return c
+			}
+		} else if c := cmp.Compare(ps.recW[a], ps.recW[b]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	for i, r := range ps.order {
+		ps.pos[r] = int32(i)
+	}
+	if d.Bipartite {
+		ps.side = make([]uint8, n)
+		for _, r := range d.SourceB {
+			ps.side[r] = 1
+		}
+	}
+	return ps
+}
+
+// buildPositionalPostings lays the index prefixes out as a CSR posting
+// table, inserting records in processing order so every posting list is
+// sorted by it.
+func buildPositionalPostings(ps *positionalSet) *positionalIndex {
+	offs := make([]int32, ps.s.numTokens+1)
+	for _, r := range ps.order {
+		for _, tok := range ps.indexPrefix(r) {
+			offs[tok+1]++
+		}
+	}
+	for i := 1; i < len(offs); i++ {
+		offs[i] += offs[i-1]
+	}
+	entries := make([]posting, offs[len(offs)-1])
+	next := make([]int32, ps.s.numTokens)
+	copy(next, offs)
+	for _, r := range ps.order {
+		for j, tok := range ps.indexPrefix(r) {
+			entries[next[tok]] = posting{rec: r, pos: int32(j)}
+			next[tok]++
+		}
+	}
+	return &positionalIndex{entries: entries, offs: offs}
+}
+
+// positionalProbeShard scans probe (a slice of the processing order)
+// against the positional index. Per candidate it applies the size filter
+// once, accumulates the prefix overlap, and kills the candidate at the
+// first match whose positional upper bound cannot reach the pair's
+// minimum overlap; survivors are verified exactly once per probe record.
+// seen and ov must be zeroed (or shard-private) numRecords-sized scratch
+// slices.
+func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32, seen []int32, ov []float64, verify verifier, out []core.Pair) []core.Pair {
+	s := ps.s
+	weighted := ps.sufW != nil
+	c1 := ps.t / (1 + ps.t)
+	var cands []int32
+	for pi, x := range probe {
+		prefix := ps.probePrefix(x)
+		if len(prefix) == 0 {
+			continue
+		}
+		px := ps.pos[x]
+		offX := s.offs[x]
+		szX := float64(s.size(x))
+		var wX, minPartner float64
+		if weighted {
+			wX = ps.recW[x]
+			minPartner = ps.t*wX - boundSlack*(1+wX)
+		} else {
+			minPartner = ps.t*szX - boundSlack
+		}
+		mark := int32(pi + 1)
+		cands = cands[:0]
+		for i, tok := range prefix {
+			var remX float64
+			if weighted {
+				remX = ps.sufW[offX+int32(i)]
+			} else {
+				remX = szX - float64(i) - 1
+			}
+			for _, pt := range ix.list(tok) {
+				y := pt.rec
+				if ps.pos[y] >= px {
+					break // postings are in processing order
+				}
+				if ps.side != nil && ps.side[y] == ps.side[x] {
+					continue
+				}
+				var szY float64
+				if weighted {
+					szY = ps.recW[y]
+				} else {
+					szY = float64(s.size(y))
+				}
+				if seen[y] != mark {
+					seen[y] = mark
+					if szY < minPartner {
+						ov[y] = -1 // size filter: sim ≤ szY/szX < t
+						continue
+					}
+					ov[y] = 0
+					cands = append(cands, y)
+				} else if ov[y] < 0 {
+					continue // killed earlier; the bound only tightens
+				}
+				var remY, wTok, need float64
+				if weighted {
+					remY = ps.sufW[s.offs[y]+pt.pos]
+					wTok = s.idf[tok]
+					need = c1*(wX+szY) - boundSlack*(1+wX+szY)
+				} else {
+					remY = szY - float64(pt.pos) - 1
+					wTok = 1
+					need = c1*(szX+szY) - boundSlack
+				}
+				rem := remX
+				if remY < rem {
+					rem = remY
+				}
+				a := ov[y] + wTok
+				if a+rem < need {
+					ov[y] = -1 // positional bound: overlap can't reach need
+					continue
+				}
+				ov[y] = a
+			}
+		}
+		for _, y := range cands {
+			if ov[y] < 0 {
+				continue
+			}
+			a, b := x, y
+			if a > b {
+				a, b = b, a // normalize so A < B regardless of probe direction
+			}
+			if sim, ok := verify(a, b); ok {
+				out = append(out, core.Pair{A: a, B: b, Likelihood: sim})
+			}
+		}
+	}
+	return out
+}
+
+// positionalJoin runs the size-ordered positional join end to end: build
+// the CSR postings once, shard the probes across GOMAXPROCS workers (see
+// parallel.go), and return the result sorted by likelihood with dense
+// IDs — byte-identical to ExhaustiveCandidates.
+func positionalJoin(d *dataset.Dataset, s *Scorer, t float64, verify verifier) []core.Pair {
+	ps := buildPositionalSet(d, s, t)
+	ix := buildPositionalPostings(ps)
+	pairs := positionalShards(s.numRecords(), ps, ix, verify, probeWorkers(len(ps.order), true))
+	SortByLikelihood(pairs)
+	for i := range pairs {
+		pairs[i].ID = i
+	}
+	return pairs
+}
+
+// weightedPrefixLenFor returns the shortest prefix of record r (in rank
+// order) whose remaining suffix weight drops below need, in [1, size].
+// The suffix-weight arena is non-increasing within a record, so the
+// boundary is found by binary search.
+func (s *Scorer) weightedPrefixLenFor(r int32, need float64) int {
+	off := s.offs[r]
+	sz := s.size(r)
+	p := 1 + sort.Search(sz, func(i int) bool { return s.sufArena[off+int32(i)] < need })
+	if p > sz {
+		p = sz // need ≤ 0: the bound gives no truncation
+	}
+	return p
+}

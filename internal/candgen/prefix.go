@@ -10,8 +10,9 @@ import (
 	"crowdjoin/internal/dataset"
 )
 
-// This file holds the prefix-filtering machinery shared by the unweighted
-// and IDF-weighted paths, plus the unweighted entry point. The classic
+// This file holds the prefix-filtering foundations: the global rare-first
+// token order, the threshold-derived prefix lengths, the exact merge
+// verifier, and the unweighted entry point. The classic
 // set-similarity-join optimization: order all tokens globally from rare to
 // frequent; a pair can reach similarity ≥ t only if the two records share a
 // token within a threshold-derived prefix of that order, and only if their
@@ -19,13 +20,18 @@ import (
 // prefixes skips most low-overlap pairs a full token index touches — in
 // particular the pairs that share nothing but ubiquitous tokens, whose
 // posting lists dominate the full index's probe volume.
+//
+// The prefix join itself runs on the size-ordered positional engine in
+// positional.go. The plain (position-free) probe machinery below —
+// prefixSet, probeShard, prefixJoin — remains the full-token-index path:
+// IndexCandidates is structurally the prefix join with every record's
+// "prefix" being its whole token list, where size ordering and positional
+// bounds have nothing to cut.
 
-// prefixSet holds every record's filter-prefix length over a token arena:
-// the scorer's rank arena for the prefix-filter paths (tokens sorted
-// rare-first, built lazily once by ensureRankArena since the order is
-// threshold-independent — only the truncation length depends on the
-// threshold), or the plain id-ordered arena with full lengths for the
-// full-index path (fullTokenSet), which needs no rarity order.
+// prefixSet holds every record's indexable-token count over the plain
+// id-ordered arena — full lengths for the full-index path (fullTokenSet),
+// the only remaining producer now that the prefix-filter paths carry
+// their truncation state in positionalSet.
 type prefixSet struct {
 	s     *Scorer
 	arena []int32
@@ -67,21 +73,6 @@ func (s *Scorer) tokenRanks() []int32 {
 		rank[id] = int32(pos)
 	}
 	return rank
-}
-
-// buildPrefixes truncates every record's rare-first token list with
-// prefixLen, which receives the rank-sorted token list and returns how
-// many leading tokens form the record's filter prefix (≥ 1 for non-empty
-// records).
-func buildPrefixes(s *Scorer, prefixLen func(r int32, sorted []int32) int) *prefixSet {
-	s.ensureRankArena()
-	ps := &prefixSet{s: s, arena: s.rankArena, plen: make([]int32, s.numRecords())}
-	for r := int32(0); r < int32(s.numRecords()); r++ {
-		if sorted := s.rankTok(r); len(sorted) > 0 {
-			ps.plen[r] = int32(prefixLen(r, sorted))
-		}
-	}
-	return ps
 }
 
 // verifier checks one candidate pair (a < b): it applies the size filter
@@ -148,11 +139,27 @@ func probeShard(ps *prefixSet, index [][]int32, probe []int32, uni bool, seen []
 	return out
 }
 
-// unweightedPrefixLen returns the filter-prefix length for a record of n
+// unweightedPrefixLen returns the probe-prefix length for a record of n
 // tokens at threshold t: n − ⌈t·n⌉ + 1, clamped to [1, n]. boundSlack keeps
 // float rounding from shortening the prefix at exact boundaries.
 func unweightedPrefixLen(n int, t float64) int {
 	plen := n - int(math.Ceil(t*float64(n)-boundSlack)) + 1
+	if plen < 1 {
+		plen = 1
+	}
+	if plen > n {
+		plen = n
+	}
+	return plen
+}
+
+// unweightedIndexPrefixLen returns the index-prefix length for a record of
+// n tokens at threshold t under size-ordered processing:
+// n − ⌈2t·n/(1+t)⌉ + 1, clamped to [1, n]. Only probes at least as large
+// reach the index side, so the required overlap is at least 2t·n/(1+t) —
+// tighter than the t·n the probe prefix must cover.
+func unweightedIndexPrefixLen(n int, t float64) int {
+	plen := n - int(math.Ceil(2*t*float64(n)/(1+t)-boundSlack)) + 1
 	if plen < 1 {
 		plen = 1
 	}
@@ -210,9 +217,10 @@ func (s *Scorer) verifyJaccard(a, b int32, t float64) (float64, bool) {
 }
 
 // PrefixCandidates computes the same result as Candidates for Unweighted
-// scorers using prefix filtering. IDF-weighted scorers need the weighted
-// bound; PrefixCandidates rejects them rather than silently losing pairs —
-// use WeightedPrefixCandidates (or the Candidates dispatcher).
+// scorers using the size-ordered positional join (see positional.go).
+// IDF-weighted scorers need the weighted bounds; PrefixCandidates rejects
+// them rather than silently losing pairs — use WeightedPrefixCandidates
+// (or the Candidates dispatcher).
 func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
@@ -220,9 +228,6 @@ func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]co
 	if s.weighting != Unweighted {
 		return nil, fmt.Errorf("candgen: prefix filtering requires an unweighted scorer")
 	}
-	ps := buildPrefixes(s, func(_ int32, sorted []int32) int {
-		return unweightedPrefixLen(len(sorted), minThreshold)
-	})
 	verify := func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, minThreshold) }
-	return prefixJoin(d, s, ps, verify), nil
+	return positionalJoin(d, s, minThreshold, verify), nil
 }

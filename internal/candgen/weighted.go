@@ -8,20 +8,33 @@ import (
 )
 
 // WeightedPrefixCandidates computes the same result as Candidates for
-// IDF-weighted scorers using the weighted prefix bound. Per-record weight
-// totals W(x) = Σ idf(tok) replace set sizes:
+// IDF-weighted scorers using the size-ordered positional join
+// (positional.go) with the weighted bounds. Per-record weight totals
+// W(x) = Σ idf(tok) replace set sizes, and remaining suffix *weight*
+// replaces remaining token counts:
 //
 //   - Size filter: weighted Jaccard w(x∩y)/w(x∪y) ≥ t implies
 //     w(x∩y) ≥ t·w(x∪y) ≥ t·max(W(x), W(y)) and w(x∩y) ≤ min(W(x), W(y)),
 //     so min(W(x), W(y)) ≥ t·max(W(x), W(y)).
-//   - Prefix: with all records' tokens in the same global rare-first order,
-//     record x's filter prefix extends until the weight remaining in its
-//     suffix drops below t·W(x). If a qualifying pair shared no token in
-//     either prefix, all shared weight would sit inside the shorter-ranked
-//     record's suffix — at most its suffix weight, which is < t·W(x) ≤
-//     t·w(x∪y) — contradicting w(x∩y) ≥ t·w(x∪y). So probing prefixes
-//     against a prefix index is lossless, exactly as in the unweighted
-//     case.
+//   - Probe prefix: with all records' tokens in the same global rare-first
+//     order, record x's probe prefix extends until the weight remaining in
+//     its suffix drops below t·W(x). If a qualifying pair shared no token
+//     in either relevant prefix, all shared weight would sit inside the
+//     rank-earlier-ending record's suffix — at most its suffix weight,
+//     which is below the pair's required overlap — a contradiction. So
+//     probing prefixes against a prefix index is lossless, exactly as in
+//     the unweighted case.
+//   - Index prefix: records are processed in weight-ascending order, so
+//     the index side of a pair always has W(y) ≤ W(x) and the required
+//     overlap t/(1+t)·(W(x)+W(y)) is at least 2t/(1+t)·W(y) — y's index
+//     prefix stops as soon as its suffix weight drops below that, shorter
+//     than the probe prefix. (For the probe side the size filter gives
+//     t·W(x) ≤ W(y), so t·W(x) ≤ t/(1+t)·(W(x)+W(y)) and the probe
+//     prefix covers the required overlap too.)
+//   - Positional filter: at a match of x[i] with y[j], the overlap weight
+//     can never exceed (overlap so far) + idf(tok) + min(suffix weight
+//     after i, suffix weight after j); below t/(1+t)·(W(x)+W(y)) the
+//     candidate is killed before verification.
 //
 // Verification computes the exact weighted similarity via Similarity, so
 // results are byte-identical to ExhaustiveCandidates.
@@ -32,9 +45,6 @@ func WeightedPrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float6
 	if s.weighting != IDFWeighted {
 		return nil, fmt.Errorf("candgen: weighted prefix filtering requires an IDF-weighted scorer")
 	}
-	ps := buildPrefixes(s, func(r int32, sorted []int32) int {
-		return s.weightedPrefixLen(r, sorted, minThreshold)
-	})
 	verify := func(a, b int32) (float64, bool) {
 		wa, wb := s.recWeight[a], s.recWeight[b]
 		lo, hi := wa, wb
@@ -50,23 +60,5 @@ func WeightedPrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float6
 		sim := s.Similarity(a, b)
 		return sim, sim >= minThreshold
 	}
-	return prefixJoin(d, s, ps, verify), nil
-}
-
-// weightedPrefixLen returns how many leading tokens of the rank-sorted
-// token list form record r's filter prefix: the shortest prefix whose
-// remaining suffix weight can no longer reach t·W(r). The slack keeps
-// float rounding from shortening the prefix at exact boundaries; it scales
-// with the weight total because the accumulated summation error does too.
-func (s *Scorer) weightedPrefixLen(r int32, sorted []int32, t float64) int {
-	total := s.recWeight[r]
-	need := t*total - boundSlack*(1+total)
-	var acc float64
-	for i, id := range sorted {
-		acc += s.idf[id]
-		if total-acc < need {
-			return i + 1
-		}
-	}
-	return len(sorted)
+	return positionalJoin(d, s, minThreshold, verify), nil
 }

@@ -71,6 +71,26 @@ type journalState struct {
 	replayed    int
 	werr        error
 	onError     func()
+	// pending holds formatted entries not yet written to w; flushing marks
+	// that one goroutine is draining it. record formats under mu (so the
+	// void/header/objects preamble and entry order are serialized) but
+	// writes outside it — group commit: the first recorder becomes the
+	// flusher and drains pending to w one batch at a time, while
+	// concurrent recorders append their formatted entry and wait on
+	// flushed until their bytes are on disk (queued/written track the
+	// append and write high-water marks). k shard goroutines' entries
+	// ride one batched write instead of k serialized ones, lookups never
+	// wait behind a write, and record still only returns once its answer
+	// is recorded (or the write failed — no answers are bought
+	// unrecorded). Exactly one flusher runs at a time, so the io.Writer
+	// itself needs no concurrency safety (writes happen-before each other
+	// via mu).
+	pending  []byte
+	spare    []byte // retired pending buffer, reused to avoid reallocating
+	flushing bool
+	flushed  sync.Cond // signals written/werr updates; lazily bound to mu
+	queued   int64     // total bytes ever appended to pending
+	written  int64     // total bytes successfully written to w
 }
 
 // openJournal reads every complete entry of rw and prepares the append
@@ -84,6 +104,7 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		return nil, fmt.Errorf("crowdjoin: reading journal: %w", err)
 	}
 	j := &journalState{answers: make(map[pairKey]Label), w: rw, numObjects: numObjects}
+	j.flushed.L = &j.mu
 	if len(raw) == 0 {
 		j.needHeader = true
 		j.needObjects = true
@@ -138,7 +159,14 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		}
 		// Canonicalize: our writer emits a < b, but a hand-edited entry in
 		// the other order must still replay (lookup keys are canonical).
-		j.answers[keyOf(int32(a), int32(b))] = l
+		k := keyOf(int32(a), int32(b))
+		if prev, ok := j.answers[k]; ok && prev != l {
+			// A later entry contradicting an earlier one is corruption, not
+			// a correction: replaying the fabricated later answer would
+			// silently flip a label. Exact duplicates stay benign.
+			return nil, fmt.Errorf("crowdjoin: conflicting journal entries for pair (%d, %d)", k.a, k.b)
+		}
+		j.answers[k] = l
 	}
 	if !sawHeader {
 		// Empty, or only voided fragments survived: a fresh journal.
@@ -175,48 +203,88 @@ func (j *journalState) replayedCount() int {
 // driver rejects them right after); a write failure is remembered and
 // reported once via onError so the session can stop buying unrecorded
 // answers.
+//
+// The critical section is narrow: the entry (with any needVoid/header/
+// objects preamble) is formatted into the pending buffer under mu, and
+// the disk write happens outside it, group-commit style — see the
+// pending/flushing/flushed fields. Entries always reach w as whole lines
+// in format order, so append atomicity and the preamble-before-entries
+// ordering are preserved, and record returns only once its entry is
+// written (or the write failed).
 func (j *journalState) record(p Pair, l Label) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.werr != nil || (l != Matching && l != NonMatching) {
+		j.mu.Unlock()
 		return
 	}
 	k := keyOf(p.A, p.B)
 	if _, ok := j.answers[k]; ok {
+		j.mu.Unlock()
 		return
 	}
 	j.answers[k] = l
-	var sb strings.Builder
+	before := len(j.pending)
 	if j.needVoid {
-		sb.WriteString("#\n")
+		j.pending = append(j.pending, "#\n"...)
 		j.needVoid = false
 	}
 	if j.needHeader {
-		sb.WriteString(journalHeader)
-		sb.WriteByte('\n')
+		j.pending = append(j.pending, journalHeader...)
+		j.pending = append(j.pending, '\n')
 		j.needHeader = false
 	}
 	if j.needObjects {
-		sb.WriteString("objects ")
-		sb.WriteString(strconv.Itoa(j.numObjects))
-		sb.WriteByte('\n')
+		j.pending = append(j.pending, "objects "...)
+		j.pending = strconv.AppendInt(j.pending, int64(j.numObjects), 10)
+		j.pending = append(j.pending, '\n')
 		j.needObjects = false
 	}
 	tag := byte('n')
 	if l == Matching {
 		tag = 'm'
 	}
-	sb.WriteByte(tag)
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.FormatInt(int64(k.a), 10))
-	sb.WriteByte(' ')
-	sb.WriteString(strconv.FormatInt(int64(k.b), 10))
-	sb.WriteByte('\n')
-	if _, err := io.WriteString(j.w, sb.String()); err != nil {
-		j.werr = err
-		if j.onError != nil {
-			j.onError()
+	j.pending = append(j.pending, tag, ' ')
+	j.pending = strconv.AppendInt(j.pending, int64(k.a), 10)
+	j.pending = append(j.pending, ' ')
+	j.pending = strconv.AppendInt(j.pending, int64(k.b), 10)
+	j.pending = append(j.pending, '\n')
+	j.queued += int64(len(j.pending) - before)
+	myEnd := j.queued
+	if j.flushing {
+		// The active flusher batches this entry into its next write; wait
+		// until it is on disk (or the journal broke) before acknowledging
+		// the answer.
+		for j.written < myEnd && j.werr == nil {
+			j.flushed.Wait()
 		}
+		j.mu.Unlock()
+		return
+	}
+	j.flushing = true
+	var werr error
+	for len(j.pending) > 0 && werr == nil {
+		buf := j.pending
+		j.pending = j.spare[:0]
+		j.mu.Unlock()
+		_, werr = j.w.Write(buf)
+		j.mu.Lock()
+		j.spare = buf
+		if werr == nil {
+			j.written += int64(len(buf))
+			j.flushed.Broadcast()
+		}
+	}
+	j.flushing = false
+	onError := j.onError
+	if werr != nil && j.werr == nil {
+		j.werr = werr
+		j.flushed.Broadcast() // wake waiters from the failed batch
+	} else {
+		onError = nil
+	}
+	j.mu.Unlock()
+	if onError != nil {
+		onError()
 	}
 }
 
@@ -292,8 +360,18 @@ type journalPlatform struct {
 	head        int
 }
 
-// Publish implements Platform.
+// Publish implements Platform. The replay FIFO is compacted in place
+// before appending (instead of letting head crawl forward forever), so a
+// long session never pins the served prefix of the backing arrays — the
+// same fix the crowd platform's batching buffer got.
 func (jp *journalPlatform) Publish(ps []Pair) {
+	if jp.head > 0 {
+		n := copy(jp.ready, jp.ready[jp.head:])
+		jp.ready = jp.ready[:n]
+		copy(jp.readyLabels, jp.readyLabels[jp.head:])
+		jp.readyLabels = jp.readyLabels[:n]
+		jp.head = 0
+	}
 	var fwd []Pair
 	for _, p := range ps {
 		if l, ok := jp.jrn.lookup(p.A, p.B); ok {
@@ -314,6 +392,13 @@ func (jp *journalPlatform) NextLabel() (Pair, Label, bool) {
 	if jp.head < len(jp.ready) {
 		p, l := jp.ready[jp.head], jp.readyLabels[jp.head]
 		jp.head++
+		if jp.head == len(jp.ready) {
+			// Fully drained: release the served entries now rather than
+			// waiting for the next Publish to compact them away.
+			jp.ready = jp.ready[:0]
+			jp.readyLabels = jp.readyLabels[:0]
+			jp.head = 0
+		}
 		jp.jrn.countReplay()
 		return p, l, true
 	}

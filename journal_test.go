@@ -449,6 +449,8 @@ func TestJournalRejectsGarbage(t *testing.T) {
 		{"out of range", "crowdjoin-journal v1\nm 0 99\n"},
 		{"self pair", "crowdjoin-journal v1\nm 3 3\n"},
 		{"wrong universe size", "crowdjoin-journal v1\nobjects 4\nm 0 1\n"},
+		{"conflicting duplicate", "crowdjoin-journal v1\nm 0 1\nn 0 1\n"},
+		{"conflicting reversed duplicate", "crowdjoin-journal v1\nm 0 1\nn 1 0\n"},
 	}
 	for _, tc := range cases {
 		j, err := crowdjoin.NewJoin(
@@ -461,6 +463,83 @@ func TestJournalRejectsGarbage(t *testing.T) {
 		}
 		if _, err := j.Run(context.Background()); err == nil {
 			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestJournalExactDuplicateBenign: a repeated identical entry (say from a
+// hand-merged pair of journals) replays normally — only *conflicting*
+// duplicates are corruption.
+func TestJournalExactDuplicateBenign(t *testing.T) {
+	buf := bytes.NewBufferString("crowdjoin-journal v1\nn 0 1\nn 0 1\nn 1 0\n")
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithTexts(exampleTexts),
+		crowdjoin.WithOracle(exampleOracle()),
+		crowdjoin.WithJournal(buf),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatalf("exact duplicate entries rejected: %v", err)
+	}
+	if res.Replayed != 1 {
+		t.Errorf("replayed %d answers, want the duplicated (0,1) entry to count once", res.Replayed)
+	}
+}
+
+// TestJournalConcurrentShards: a WithConcurrency(4) session appends to one
+// journal from four shard goroutines. With the narrowed record critical
+// section (format under the state lock, writes via the flusher), the
+// journal must still come out parseable and complete: a fresh session
+// replays every answer without consulting the crowd.
+func TestJournalConcurrentShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 4; trial++ {
+		numObjects, pairs, entity := randomJoinCase(rng)
+		truth := &crowdjoin.TruthOracle{Entity: entity}
+		var journal bytes.Buffer
+		j1, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(numObjects, pairs),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithOracle(truth),
+			crowdjoin.WithConcurrency(4),
+			crowdjoin.WithJournal(&journal),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := j1.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := journal.String()
+		if !strings.HasPrefix(content, "crowdjoin-journal v1\n") {
+			t.Fatalf("trial %d: journal does not start with the header:\n%.120s", trial, content)
+		}
+		if !strings.HasSuffix(content, "\n") {
+			t.Fatalf("trial %d: concurrently written journal ends mid-line:\n%.120s", trial, content)
+		}
+		j2, err := crowdjoin.NewJoin(
+			crowdjoin.WithPairs(numObjects, pairs),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithOracle(failingOracle(t)),
+			crowdjoin.WithConcurrency(4),
+			crowdjoin.WithJournal(bytes.NewBufferString(content)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := j2.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Replayed != first.NumCrowdsourced {
+			t.Errorf("trial %d: replayed %d answers, journal holds %d", trial, second.Replayed, first.NumCrowdsourced)
+		}
+		if !reflect.DeepEqual(first.Labels, second.Labels) {
+			t.Errorf("trial %d: replayed labels differ", trial)
 		}
 	}
 }

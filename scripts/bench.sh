@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Runs the labeling / deduction-core / world-enumeration benchmarks and
-# writes BENCH_core.json (ns/op, B/op, allocs/op, and custom metrics per
-# benchmark) so the perf trajectory can be compared across PRs.
+# Runs the labeling / deduction-core / world-enumeration /
+# candidate-generation benchmarks (the BenchmarkCandidates* family covers
+# the auto-routed default, the size-ordered positional prefix routes for
+# both weightings, and the full-index fallback) and writes BENCH_core.json
+# (ns/op, B/op, allocs/op, and custom metrics per benchmark) so the perf
+# trajectory can be compared across PRs.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -count passed to `go test` (default 1)

@@ -397,26 +397,34 @@ func BenchmarkCandidatesPositionalUnweighted(b *testing.B) {
 	e := benchEnv(b)
 	d := e.Paper.Dataset
 	s := candgen.NewScorer(d, candgen.Unweighted)
+	var n int
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := candgen.PrefixCandidates(d, s, benchCandThreshold); err != nil {
+		pairs, err := candgen.PrefixCandidates(d, s, benchCandThreshold)
+		if err != nil {
 			b.Fatal(err)
 		}
+		n = len(pairs)
 	}
+	b.ReportMetric(float64(n), "pairs")
 }
 
 func BenchmarkCandidatesPositionalWeighted(b *testing.B) {
 	e := benchEnv(b)
 	d := e.Paper.Dataset
 	s := candgen.NewScorer(d, candgen.IDFWeighted)
+	var n int
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := candgen.WeightedPrefixCandidates(d, s, benchCandThreshold); err != nil {
+		pairs, err := candgen.WeightedPrefixCandidates(d, s, benchCandThreshold)
+		if err != nil {
 			b.Fatal(err)
 		}
+		n = len(pairs)
 	}
+	b.ReportMetric(float64(n), "pairs")
 }
 
 func BenchmarkCandidatesFullIndex(b *testing.B) {

@@ -5,12 +5,22 @@
 // It exists for scripts/bench.sh, which snapshots the labeling and
 // world-enumeration benchmarks into BENCH_core.json so the perf trajectory
 // of the deduction core is tracked across PRs.
+//
+// With -compare <baseline.json> it instead diffs the fresh run against the
+// committed snapshot: a benchstat-style delta table per shared benchmark
+// (best-of-count ns/op on each side, so -count reruns tighten the
+// comparison rather than skewing it), exiting 1 when any
+// candidate-generation benchmark (BenchmarkCandidates*) regresses more
+// than 10% in ns/op. CI runs the compare warn-only; the exit code is for
+// local `scripts/bench.sh --compare` loops.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -32,14 +42,13 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-func main() {
-	report := Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Benchmarks: []Benchmark{},
-	}
-	sc := bufio.NewScanner(os.Stdin)
+// regressLimit is the ns/op growth (fraction of the baseline) past which a
+// candidate-generation benchmark counts as a regression.
+const regressLimit = 0.10
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -68,11 +77,89 @@ func main() {
 			}
 			b.Metrics[fields[i+1]] = v
 		}
-		report.Benchmarks = append(report.Benchmarks, b)
+		out = append(out, b)
 	}
-	if err := sc.Err(); err != nil {
+	return out, sc.Err()
+}
+
+// bestNs collapses repeated -count entries to the per-name minimum ns/op —
+// the least-noise sample, the same reduction a human applies to a noisy
+// rerun — preserving first-seen order in the returned name list.
+func bestNs(benches []Benchmark) (map[string]float64, []string) {
+	best := map[string]float64{}
+	var order []string
+	for _, b := range benches {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if old, seen := best[b.Name]; !seen {
+			best[b.Name] = ns
+			order = append(order, b.Name)
+		} else if ns < old {
+			best[b.Name] = ns
+		}
+	}
+	return best, order
+}
+
+func compare(baselinePath string, fresh []Benchmark) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	oldNs, order := bestNs(base.Benchmarks)
+	newNs, _ := bestNs(fresh)
+	fmt.Printf("%-45s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	for _, name := range order {
+		n, ok := newNs[name]
+		if !ok {
+			fmt.Printf("%-45s %14.0f %14s %8s\n", name, oldNs[name], "-", "-")
+			continue
+		}
+		o := oldNs[name]
+		delta := (n - o) / o
+		mark := ""
+		if strings.HasPrefix(name, "BenchmarkCandidates") && delta > regressLimit {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("%-45s %14.0f %14.0f %+7.1f%%%s\n", name, o, n, 100*delta, mark)
+	}
+	if len(regressed) > 0 {
+		fmt.Printf("\n%d candidate benchmark(s) regressed >%.0f%% ns/op vs %s: %s\n",
+			len(regressed), 100*regressLimit, baselinePath, strings.Join(regressed, ", "))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	baseline := flag.String("compare", "", "baseline BENCH_core.json: print a delta table instead of JSON; exit 1 on candidate-benchmark regressions >10% ns/op")
+	flag.Parse()
+	benches, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		os.Exit(compare(*baseline, benches))
+	}
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	if report.Benchmarks == nil {
+		report.Benchmarks = []Benchmark{}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

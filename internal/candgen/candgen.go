@@ -101,6 +101,22 @@ type Scorer struct {
 	// pairs or run the full index never pay for it.
 	rankOnce  sync.Once
 	rankArena []int32
+	// rankValArena parallels rankArena with each token's global rank value
+	// (ascending within a record). The verification kernel merges rank
+	// values instead of token ids: equality of rank is equality of token,
+	// and the values are ordered by the same relation the probe loop walks
+	// prefixes in, so a merge can resume mid-stream from probe state.
+	rankValArena []int32
+	// freqMask/rareLen split each record at the frequent-token rank cut
+	// (the freqTokens most frequent tokens, mirroring clustergraph's
+	// degree-escalation bitset rows): freqMask[r] has bit (rank − cut) set
+	// for each of r's frequent tokens, and rareLen[r] is the count of r's
+	// rare tokens — the length of the rank-list prefix the merge verifier
+	// still walks; the frequent remainder is intersected with one
+	// AND+popcount. freqCut is the cut rank.
+	freqMask []uint64
+	rareLen  []int32
+	freqCut  int32
 	// sufArena parallels rankArena for IDF-weighted scorers: the total
 	// weight of record r's tokens strictly after each rank position —
 	// the "remaining suffix weight" the positional filter and the
@@ -116,7 +132,19 @@ type Scorer struct {
 	idf       []float64 // per token id; nil for Unweighted
 	recWeight []float64 // per-record Σ idf; nil for Unweighted
 	weighting Weighting
+	// scratch pools joinScratch values (every per-join allocation of the
+	// positional engine) so repeated joins over one scorer reuse capacity;
+	// see parallel.go.
+	scratch sync.Pool
 }
+
+// freqTokens is the width of the frequent-token bitmap: the freqTokens
+// highest-ranked (most frequent) tokens get a bit each in every record's
+// freqMask, so the frequent half of a verification merge collapses to one
+// AND+popcount. It is a var, not a const, only so the kernel ablation
+// benchmarks can build a bitmap-free scorer (0 = everything stays in the
+// merged rare region); production code never mutates it.
+var freqTokens = 64
 
 // NewScorer tokenizes every record of d and prepares similarity state.
 func NewScorer(d *dataset.Dataset, w Weighting) *Scorer {
@@ -191,6 +219,30 @@ func (s *Scorer) ensureRankArena() {
 			slices.SortFunc(s.rankTok(int32(r)), func(a, b int32) int {
 				return cmp.Compare(rank[a], rank[b])
 			})
+		}
+		s.freqCut = int32(s.numTokens - freqTokens)
+		if s.freqCut < 0 {
+			s.freqCut = 0
+		}
+		s.rankValArena = make([]int32, len(s.rankArena))
+		for i, tok := range s.rankArena {
+			s.rankValArena[i] = rank[tok]
+		}
+		s.freqMask = make([]uint64, s.numRecords())
+		s.rareLen = make([]int32, s.numRecords())
+		for r := 0; r < s.numRecords(); r++ {
+			off, end := s.offs[r], s.offs[r+1]
+			rl := int32(0)
+			var mask uint64
+			for i := off; i < end; i++ {
+				if v := s.rankValArena[i]; v >= s.freqCut {
+					mask |= 1 << uint(v-s.freqCut)
+				} else {
+					rl = i - off + 1
+				}
+			}
+			s.freqMask[r] = mask
+			s.rareLen[r] = rl
 		}
 		if s.weighting == IDFWeighted {
 			s.sufArena = make([]float64, len(s.rankArena))
@@ -316,7 +368,7 @@ func IndexCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]cor
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
 	}
-	verify := func(a, b int32) (float64, bool) {
+	verify := func(a, b int32, _ resume) (float64, bool) {
 		sim := s.Similarity(a, b)
 		return sim, sim >= minThreshold
 	}

@@ -166,7 +166,7 @@ func TestProbeShardsMatchSerial(t *testing.T) {
 	s := NewScorer(d, Unweighted)
 	const th = 0.25
 	ps := s.fullTokenSet()
-	verify := func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, th) }
+	verify := func(a, b int32, _ resume) (float64, bool) { return s.verifyJaccard(a, b, th) }
 	index := buildPostings(s.numTokens, s.numRecords(), nil, ps.prefix)
 	probe := make([]int32, d.Len())
 	for i := range probe {

@@ -12,6 +12,72 @@ import (
 // per-shard seen-scratch allocation outweighs the parallel win.
 const minProbesPerShard = 256
 
+// grow returns b resized to n elements, reusing the backing array when
+// capacity allows. A fresh slice is zeroed (make's guarantee); a reused
+// one is NOT — callers clear whatever they read before writing.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// shardScratch is one probe worker's private state: the candidate
+// bookkeeping arrays of positionalProbeShard plus its output buffer. All
+// per-record arrays are indexed by record id and reused across joins via
+// the scorer's scratch pool.
+type shardScratch struct {
+	seen  []int32     // candidate-dedup marks, keyed by probe slot
+	ov    []float64   // accumulated prefix overlap; -1 = candidate killed
+	rov   []int32     // unweighted resume: rare-region match count
+	rxi   []int32     // resume: rank position of the last tracked match in x
+	ryj   []int32     // resume: rank position of the last tracked match in y
+	fsh   []int32     // cached popcount of the pair's shared frequent row
+	cands []int32     // distinct candidates of the current probe record
+	pairs []core.Pair // per-shard output buffer, reused across joins
+}
+
+// ensure sizes the per-record arrays for n records and resets per-join
+// state. seen is the only array that must start zeroed (stale marks would
+// wrongly dedup candidates); ov/rov/rxi/ryj/fsh are written at a
+// candidate's first sighting before any read, so stale values are inert.
+func (sc *shardScratch) ensure(n int) {
+	sc.seen = grow(sc.seen, n)
+	clear(sc.seen)
+	sc.ov = grow(sc.ov, n)
+	sc.rov = grow(sc.rov, n)
+	sc.rxi = grow(sc.rxi, n)
+	sc.ryj = grow(sc.ryj, n)
+	sc.fsh = grow(sc.fsh, n)
+	sc.pairs = sc.pairs[:0]
+}
+
+// joinScratch bundles every reusable buffer of one positional join: the
+// positionalSet/positionalIndex backing arrays, the filtered probe list,
+// the CSR fill cursor, and one shardScratch per worker. Scorer.getScratch
+// hands these out from a sync.Pool so repeated joins over the same corpus
+// allocate nothing but the exact-size result slice.
+type joinScratch struct {
+	set     positionalSet
+	index   positionalIndex
+	probe   []int32
+	next    []int32
+	sideBuf []uint8 // bipartite side table (kept apart: set.side is nil for unipartite joins)
+	shards  []shardScratch
+}
+
+// getScratch fetches a joinScratch from the scorer's pool (or a fresh
+// zero-value one). Concurrent joins each get their own; putScratch returns
+// it once the join no longer references the buffers.
+func (s *Scorer) getScratch() *joinScratch {
+	if js, ok := s.scratch.Get().(*joinScratch); ok {
+		return js
+	}
+	return &joinScratch{}
+}
+
+func (s *Scorer) putScratch(js *joinScratch) { s.scratch.Put(js) }
+
 // shardStart returns the probe index where shard w of `workers` begins.
 // Bipartite probes get equal-count shards. Unipartite probes scan only
 // partners b < a, so per-record work grows roughly linearly with the probe
@@ -48,11 +114,13 @@ func probeWorkers(numProbes int, uni bool) int {
 
 // runShards splits the probe list into `workers` contiguous shards
 // (boundaries from shardStart), runs scan on each concurrently, and
-// concatenates the shard buffers in shard order. Each scan call allocates
-// its own scratch, so shards never share state. The concatenation order
-// is deterministic, and the caller's final SortByLikelihood imposes a
-// total order on pairs anyway — so results are byte-identical to a serial
-// scan regardless of scheduling.
+// concatenates the shard buffers in shard order: each shard is copied once
+// into its own offset of one exact-size result, and the shard buffer is
+// released as soon as it is copied, so pairs are never held twice. Each
+// scan call allocates its own scratch, so shards never share state. The
+// concatenation order is deterministic, and the caller's final
+// SortByLikelihood imposes a total order on pairs anyway — so results are
+// byte-identical to a serial scan regardless of scheduling.
 func runShards(probe []int32, uni bool, workers int, scan func(shard []int32) []core.Pair) []core.Pair {
 	if workers <= 1 || len(probe) < 2 {
 		return scan(probe)
@@ -76,9 +144,11 @@ func runShards(probe []int32, uni bool, workers int, scan func(shard []int32) []
 	for _, r := range results {
 		total += len(r)
 	}
-	out := make([]core.Pair, 0, total)
-	for _, r := range results {
-		out = append(out, r...)
+	out := make([]core.Pair, total)
+	off := 0
+	for w := range results {
+		off += copy(out[off:], results[w])
+		results[w] = nil
 	}
 	return out
 }
@@ -88,11 +158,54 @@ func runShards(probe []int32, uni bool, workers int, scan func(shard []int32) []
 // it in the processing order, so per-record work grows roughly linearly
 // with the record's order position for both dataset shapes — the shard
 // boundaries are √-spaced (shardStart's unipartite mode) to equalize the
-// triangular workload.
-func positionalShards(numRecords int, ps *positionalSet, ix *positionalIndex, verify verifier, workers int) []core.Pair {
-	return runShards(ps.order, true, workers, func(shard []int32) []core.Pair {
-		return positionalProbeShard(ps, ix, shard, make([]int32, numRecords), make([]float64, numRecords), verify, nil)
-	})
+// triangular workload. Worker scratch comes from js (nil: allocate fresh,
+// for tests); the returned slice is the join's only surviving allocation —
+// exact-size, filled by one copy per shard at its offset.
+func positionalShards(ps *positionalSet, ix *positionalIndex, probe []int32, verify verifier, workers int, js *joinScratch) []core.Pair {
+	if js == nil {
+		js = &joinScratch{}
+	}
+	n := ps.s.numRecords()
+	if workers > len(probe) {
+		workers = len(probe)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(js.shards) < workers {
+		js.shards = append(js.shards, shardScratch{})
+	}
+	shards := js.shards[:workers]
+	for w := range shards {
+		shards[w].ensure(n)
+	}
+	if workers == 1 {
+		res := positionalProbeShard(ps, ix, probe, &shards[0], verify)
+		out := make([]core.Pair, len(res))
+		copy(out, res)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := shardStart(w, workers, len(probe), true)
+		hi := shardStart(w+1, workers, len(probe), true)
+		wg.Add(1)
+		go func(sc *shardScratch, shard []int32) {
+			defer wg.Done()
+			positionalProbeShard(ps, ix, shard, sc, verify)
+		}(&shards[w], probe[lo:hi])
+	}
+	wg.Wait()
+	total := 0
+	for w := range shards {
+		total += len(shards[w].pairs)
+	}
+	out := make([]core.Pair, total)
+	off := 0
+	for w := range shards {
+		off += copy(out[off:], shards[w].pairs)
+	}
+	return out
 }
 
 // probeShards is the sharded driver for the plain (position-free) probe

@@ -2,6 +2,7 @@ package candgen
 
 import (
 	"cmp"
+	"math/bits"
 	"slices"
 	"sort"
 
@@ -95,24 +96,34 @@ func (ps *positionalSet) indexPrefix(r int32) []int32 {
 
 // buildPositionalSet prepares the size-ordered engine for one join:
 // rare-first prefixes truncated at the probe and index bounds, the
-// processing order, and (for bipartite datasets) the side table.
-func buildPositionalSet(d *dataset.Dataset, s *Scorer, t float64) *positionalSet {
+// processing order, and (for bipartite datasets) the side table. The set's
+// backing arrays live in js and are reused across joins (nil js: allocate
+// fresh, for tests and direct callers).
+func buildPositionalSet(d *dataset.Dataset, s *Scorer, t float64, js *joinScratch) *positionalSet {
+	if js == nil {
+		js = &joinScratch{}
+	}
 	s.ensureRankArena()
 	n := s.numRecords()
-	ps := &positionalSet{
-		s:     s,
-		t:     t,
-		plen:  make([]int32, n),
-		iplen: make([]int32, n),
-		order: make([]int32, n),
-		pos:   make([]int32, n),
-		recW:  s.recWeight,
-		sufW:  s.sufArena,
-	}
+	ps := &js.set
+	ps.s = s
+	ps.t = t
+	ps.plen = grow(ps.plen, n)
+	ps.iplen = grow(ps.iplen, n)
+	ps.order = grow(ps.order, n)
+	ps.pos = grow(ps.pos, n)
+	ps.recW = s.recWeight
+	ps.sufW = s.sufArena
+	ps.side = nil
 	for r := int32(0); r < int32(n); r++ {
 		sz := s.size(r)
 		if sz == 0 {
-			continue // never probed or indexed: no shared token possible
+			// Never probed or indexed: no shared token possible. The
+			// lengths are written explicitly — reused scratch carries the
+			// previous join's values, not make's zeros.
+			ps.plen[r] = 0
+			ps.iplen[r] = 0
+			continue
 		}
 		if ps.sufW == nil {
 			ps.plen[r] = int32(unweightedPrefixLen(sz, t))
@@ -141,7 +152,9 @@ func buildPositionalSet(d *dataset.Dataset, s *Scorer, t float64) *positionalSet
 		ps.pos[r] = int32(i)
 	}
 	if d.Bipartite {
-		ps.side = make([]uint8, n)
+		ps.side = grow(js.sideBuf, n)
+		clear(ps.side)
+		js.sideBuf = ps.side
 		for _, r := range d.SourceB {
 			ps.side[r] = 1
 		}
@@ -151,9 +164,15 @@ func buildPositionalSet(d *dataset.Dataset, s *Scorer, t float64) *positionalSet
 
 // buildPositionalPostings lays the index prefixes out as a CSR posting
 // table, inserting records in processing order so every posting list is
-// sorted by it.
-func buildPositionalPostings(ps *positionalSet) *positionalIndex {
-	offs := make([]int32, ps.s.numTokens+1)
+// sorted by it. The table's backing arrays live in js and are reused
+// across joins (nil js: allocate fresh).
+func buildPositionalPostings(ps *positionalSet, js *joinScratch) *positionalIndex {
+	if js == nil {
+		js = &joinScratch{}
+	}
+	ix := &js.index
+	offs := grow(ix.offs, ps.s.numTokens+1)
+	clear(offs)
 	for _, r := range ps.order {
 		for _, tok := range ps.indexPrefix(r) {
 			offs[tok+1]++
@@ -162,8 +181,8 @@ func buildPositionalPostings(ps *positionalSet) *positionalIndex {
 	for i := 1; i < len(offs); i++ {
 		offs[i] += offs[i-1]
 	}
-	entries := make([]posting, offs[len(offs)-1])
-	next := make([]int32, ps.s.numTokens)
+	entries := grow(ix.entries, int(offs[len(offs)-1]))
+	next := grow(js.next, ps.s.numTokens)
 	copy(next, offs)
 	for _, r := range ps.order {
 		for j, tok := range ps.indexPrefix(r) {
@@ -171,21 +190,35 @@ func buildPositionalPostings(ps *positionalSet) *positionalIndex {
 			next[tok]++
 		}
 	}
-	return &positionalIndex{entries: entries, offs: offs}
+	js.next = next
+	ix.offs = offs
+	ix.entries = entries
+	return ix
 }
 
 // positionalProbeShard scans probe (a slice of the processing order)
 // against the positional index. Per candidate it applies the size filter
 // once, accumulates the prefix overlap, and kills the candidate at the
-// first match whose positional upper bound cannot reach the pair's
-// minimum overlap; survivors are verified exactly once per probe record.
-// seen and ov must be zeroed (or shard-private) numRecords-sized scratch
-// slices.
-func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32, seen []int32, ov []float64, verify verifier, out []core.Pair) []core.Pair {
+// first match whose positional (or, unweighted, bitset-tightened) upper
+// bound cannot reach the pair's minimum overlap; survivors are verified
+// exactly once per probe record, with the accumulated overlap and last
+// matched positions handed to the verifier as resume state (verify.go) so
+// the merge continues mid-stream instead of restarting at token 0. sc
+// holds the shard-private scratch (see parallel.go); the appended-to pair
+// buffer sc.pairs is returned.
+func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32, sc *shardScratch, verify verifier) []core.Pair {
 	s := ps.s
 	weighted := ps.sufW != nil
 	c1 := ps.t / (1 + ps.t)
-	var cands []int32
+	seen, ov := sc.seen, sc.ov
+	rov, rxi, ryj, fsh := sc.rov, sc.rxi, sc.ryj, sc.fsh
+	cands := sc.cands[:0]
+	out := sc.pairs[:0]
+	masks, rareLens := s.freqMask, s.rareLen
+	sfDepth := 0
+	if !weighted {
+		sfDepth = suffixFilterDepth
+	}
 	for pi, x := range probe {
 		prefix := ps.probePrefix(x)
 		if len(prefix) == 0 {
@@ -194,6 +227,12 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 		px := ps.pos[x]
 		offX := s.offs[x]
 		szX := float64(s.size(x))
+		var rlx int32
+		var maskX uint64
+		if !weighted {
+			rlx = rareLens[x]
+			maskX = masks[x]
+		}
 		var wX, minPartner float64
 		if weighted {
 			wX = ps.recW[x]
@@ -210,6 +249,10 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 			} else {
 				remX = szX - float64(i) - 1
 			}
+			rareRemX := rlx - int32(i) - 1
+			if rareRemX < 0 {
+				rareRemX = 0
+			}
 			for _, pt := range ix.list(tok) {
 				y := pt.rec
 				if ps.pos[y] >= px {
@@ -224,6 +267,14 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 				} else {
 					szY = float64(s.size(y))
 				}
+				var wTok, need float64
+				if weighted {
+					wTok = s.idf[tok]
+					need = c1*(wX+szY) - boundSlack*(1+wX+szY)
+				} else {
+					wTok = 1
+					need = c1*(szX+szY) - boundSlack
+				}
 				if seen[y] != mark {
 					seen[y] = mark
 					if szY < minPartner {
@@ -231,19 +282,37 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 						continue
 					}
 					ov[y] = 0
+					rov[y] = 0
+					rxi[y] = -1
+					ryj[y] = -1
+					if !weighted {
+						// One popcount per candidate: the pair's shared
+						// frequent row, reused by the bitset bound below
+						// and by the resumed verifier.
+						fsh[y] = int32(bits.OnesCount64(maskX & masks[y]))
+					}
 					cands = append(cands, y)
+					if sfDepth > 0 {
+						// ppjoin+ suffix filtering: partition the two
+						// suffixes behind the first match to tighten the
+						// overlap upper bound before admitting the pair.
+						ub := 1 + suffixBound(
+							s.rankValArena[offX+int32(i)+1:s.offs[x+1]],
+							s.rankValArena[s.offs[y]+pt.pos+1:s.offs[y+1]],
+							sfDepth)
+						if float64(ub) < need {
+							ov[y] = -1
+							continue
+						}
+					}
 				} else if ov[y] < 0 {
 					continue // killed earlier; the bound only tightens
 				}
-				var remY, wTok, need float64
+				var remY float64
 				if weighted {
 					remY = ps.sufW[s.offs[y]+pt.pos]
-					wTok = s.idf[tok]
-					need = c1*(wX+szY) - boundSlack*(1+wX+szY)
 				} else {
 					remY = szY - float64(pt.pos) - 1
-					wTok = 1
-					need = c1*(szX+szY) - boundSlack
 				}
 				rem := remX
 				if remY < rem {
@@ -254,6 +323,39 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 					ov[y] = -1 // positional bound: overlap can't reach need
 					continue
 				}
+				if weighted {
+					// Weighted resume state: every surviving prefix match
+					// advances the checkpoint the verifier resumes from.
+					rxi[y] = int32(i)
+					ryj[y] = pt.pos
+				} else {
+					nrov := rov[y]
+					if int32(i) < rlx {
+						nrov++
+					}
+					// Bitset-tightened bound: future matches are at most
+					// the smaller rare remainder plus the shared frequent
+					// row — usually far below the raw suffix counts.
+					rareRemY := rareLens[y] - pt.pos - 1
+					if rareRemY < 0 {
+						rareRemY = 0
+					}
+					rareRem := rareRemX
+					if rareRemY < rareRem {
+						rareRem = rareRemY
+					}
+					if float64(nrov+rareRem+fsh[y]) < need {
+						ov[y] = -1
+						continue
+					}
+					if int32(i) < rlx {
+						// Only rare matches advance the resume checkpoint:
+						// the frequent suffix is covered by the popcount.
+						rov[y] = nrov
+						rxi[y] = int32(i)
+						ryj[y] = pt.pos
+					}
+				}
 				ov[y] = a
 			}
 		}
@@ -261,26 +363,47 @@ func positionalProbeShard(ps *positionalSet, ix *positionalIndex, probe []int32,
 			if ov[y] < 0 {
 				continue
 			}
-			a, b := x, y
-			if a > b {
-				a, b = b, a // normalize so A < B regardless of probe direction
+			var rs resume
+			if weighted {
+				rs = resume{ov: ov[y], xi: rxi[y], yj: ryj[y], shared: -1}
+			} else {
+				rs = resume{ov: float64(rov[y]), xi: rxi[y], yj: ryj[y], shared: fsh[y]}
 			}
-			if sim, ok := verify(a, b); ok {
+			if sim, ok := verify(x, y, rs); ok {
+				a, b := x, y
+				if a > b {
+					a, b = b, a // normalize so A < B regardless of probe direction
+				}
 				out = append(out, core.Pair{A: a, B: b, Likelihood: sim})
 			}
 		}
 	}
+	sc.cands = cands
+	sc.pairs = out
 	return out
 }
 
 // positionalJoin runs the size-ordered positional join end to end: build
-// the CSR postings once, shard the probes across GOMAXPROCS workers (see
-// parallel.go), and return the result sorted by likelihood with dense
-// IDs — byte-identical to ExhaustiveCandidates.
+// the CSR postings once (into the scorer's pooled scratch, so repeated
+// joins allocate only the returned pair slice), shard the probes across
+// GOMAXPROCS workers (see parallel.go), and return the result sorted by
+// likelihood with dense IDs — byte-identical to ExhaustiveCandidates.
 func positionalJoin(d *dataset.Dataset, s *Scorer, t float64, verify verifier) []core.Pair {
-	ps := buildPositionalSet(d, s, t)
-	ix := buildPositionalPostings(ps)
-	pairs := positionalShards(s.numRecords(), ps, ix, verify, probeWorkers(len(ps.order), true))
+	js := s.getScratch()
+	ps := buildPositionalSet(d, s, t, js)
+	ix := buildPositionalPostings(ps, js)
+	// Zero-size and empty-prefix records contribute no probe work; drop
+	// them from the probe list (pos keeps full-order coordinates) so the
+	// worker count and the √-spaced shard boundaries reflect real load.
+	probe := js.probe[:0]
+	for _, r := range ps.order {
+		if ps.plen[r] > 0 {
+			probe = append(probe, r)
+		}
+	}
+	js.probe = probe
+	pairs := positionalShards(ps, ix, probe, verify, probeWorkers(len(probe), true), js)
+	s.putScratch(js)
 	SortByLikelihood(pairs)
 	for i := range pairs {
 		pairs[i].ID = i

@@ -151,19 +151,16 @@ func TestPositionalShardsMatchSerial(t *testing.T) {
 			const th = 0.25
 			var verify verifier
 			if w == Unweighted {
-				verify = func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, th) }
+				verify = func(a, b int32, rs resume) (float64, bool) { return s.verifyJaccardResumed(a, b, rs, th) }
 			} else {
-				verify = func(a, b int32) (float64, bool) {
-					sim := s.Similarity(a, b)
-					return sim, sim >= th
-				}
+				verify = func(a, b int32, rs resume) (float64, bool) { return s.verifyWeightedResumed(a, b, rs, th) }
 			}
-			ps := buildPositionalSet(d, s, th)
-			ix := buildPositionalPostings(ps)
-			serial := positionalShards(d.Len(), ps, ix, verify, 1)
+			ps := buildPositionalSet(d, s, th, nil)
+			ix := buildPositionalPostings(ps, nil)
+			serial := positionalShards(ps, ix, ps.order, verify, 1, nil)
 			SortByLikelihood(serial)
 			for _, workers := range []int{2, 3, 7, 16} {
-				sharded := positionalShards(d.Len(), ps, ix, verify, workers)
+				sharded := positionalShards(ps, ix, ps.order, verify, workers, nil)
 				SortByLikelihood(sharded)
 				assertSamePairs(t, fmt.Sprintf("bipartite=%v w=%d workers=%d", bipartite, w, workers), sharded, serial)
 			}
@@ -190,7 +187,7 @@ func TestIndexPrefixShorterThanProbePrefix(t *testing.T) {
 	d := smallCora(t)
 	s := NewScorer(d, IDFWeighted)
 	for _, th := range []float64{0.05, 0.3, 0.8, 1} {
-		ps := buildPositionalSet(d, s, th)
+		ps := buildPositionalSet(d, s, th, nil)
 		for r := int32(0); r < int32(d.Len()); r++ {
 			if s.size(r) == 0 {
 				continue
@@ -209,7 +206,7 @@ func TestPositionalSizeOrder(t *testing.T) {
 	d := randomDataset(rand.New(rand.NewSource(53)), 80, false)
 	for _, w := range []Weighting{Unweighted, IDFWeighted} {
 		s := NewScorer(d, w)
-		ps := buildPositionalSet(d, s, 0.3)
+		ps := buildPositionalSet(d, s, 0.3, nil)
 		for i := 1; i < len(ps.order); i++ {
 			a, b := ps.order[i-1], ps.order[i]
 			var ka, kb float64

@@ -75,9 +75,13 @@ func (s *Scorer) tokenRanks() []int32 {
 	return rank
 }
 
-// verifier checks one candidate pair (a < b): it applies the size filter
-// and, when the pair's exact similarity reaches the threshold, returns it.
-type verifier func(a, b int32) (float64, bool)
+// verifier checks one candidate pair and, when its exact similarity
+// reaches the threshold, returns it. The first argument is the probing
+// record, the second its indexed partner; rs carries the probe loop's
+// accumulated resume state (see verify.go) so positional verifiers can
+// continue the merge mid-stream instead of re-merging from token 0. Call
+// sites without probe state pass noResume.
+type verifier func(x, y int32, rs resume) (float64, bool)
 
 // prefixJoin runs the prefix-filtered join: it builds the prefix index
 // (over the smaller side for bipartite datasets), probes it with every
@@ -130,7 +134,7 @@ func probeShard(ps *prefixSet, index [][]int32, probe []int32, uni bool, seen []
 				if x > y {
 					x, y = y, x // normalize so A < B regardless of probe direction
 				}
-				if sim, ok := verify(x, y); ok {
+				if sim, ok := verify(x, y, noResume); ok {
 					out = append(out, core.Pair{A: x, B: y, Likelihood: sim})
 				}
 			}
@@ -228,6 +232,8 @@ func PrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]co
 	if s.weighting != Unweighted {
 		return nil, fmt.Errorf("candgen: prefix filtering requires an unweighted scorer")
 	}
-	verify := func(a, b int32) (float64, bool) { return s.verifyJaccard(a, b, minThreshold) }
+	// The probe loop's size filter covers the admitted candidates, and the
+	// resumed kernel (verify.go) picks the merge up from the probe state.
+	verify := func(x, y int32, rs resume) (float64, bool) { return s.verifyJaccardResumed(x, y, rs, minThreshold) }
 	return positionalJoin(d, s, minThreshold, verify), nil
 }

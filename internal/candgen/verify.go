@@ -1,0 +1,267 @@
+package candgen
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file holds the verification kernels of the positional engine: the
+// overlap-resumed merge verifiers (unweighted and weighted) and the
+// optional candidate-kill probes (ppjoin+ suffix filtering, galloping
+// intersection) the ablation benchmarks measure.
+//
+// The key structural fact: the probe loop and the verifier now walk the
+// SAME token order. Probe prefixes are rank-ordered (rare-first), and the
+// verifier merges rankValArena — each record's global rank values,
+// ascending — instead of the id-ordered arena. Equality of rank is
+// equality of token, so the intersection is identical, and the probe
+// loop's accumulated state (overlap so far, last matched positions) is a
+// valid mid-stream checkpoint the merge resumes from instead of
+// re-deriving the prefix overlap from token 0.
+//
+// The second structural fact: tokens more frequent than the freqCut rank
+// occupy a *suffix* of every rank list (rank values ascend within a
+// record), and there are at most freqTokens of them — so each record's
+// frequent suffix is one 64-bit row (freqMask) and the frequent half of
+// every intersection is a single AND+popcount. The merge only ever walks
+// the rare prefix (rareLen tokens). Both facts are integer-exact for the
+// unweighted kernel, so accepted similarities stay byte-identical to
+// ExhaustiveCandidates.
+
+// resume carries the probe loop's accumulated verification state for one
+// candidate: ov is the overlap already matched inside both prefixes
+// (rare-region match count for the unweighted kernel, full matched weight
+// for the weighted one), (xi, yj) are the rank-list positions of the last
+// such match in the probing / indexed record (-1: no match tracked), and
+// shared is the cached popcount of the pair's frequent-row AND (-1: not
+// computed; the unweighted kernel recounts it).
+type resume struct {
+	ov     float64
+	xi, yj int32
+	shared int32
+}
+
+// noResume is the verifier argument for call sites with no probe state
+// (the full-index path and direct pair checks): verification runs from
+// token 0.
+var noResume = resume{xi: -1, yj: -1, shared: -1}
+
+// verifyJaccardResumed applies the exact unweighted acceptance test for
+// the probing pair (x, y), resuming from the probe state rs:
+//
+//	inter = rs.ov                      (rare matches the probe counted)
+//	      + popcount(maskX & maskY)    (the entire frequent suffix)
+//	      + merge of the rare remainders from (xi+1, yj+1)
+//
+// The merge carries the classic miss budgets (each side can skip at most
+// len − minInter tokens), pre-charged with the misses the resume state
+// already proves: the unmatched prefix slots and the frequent tokens
+// outside the shared row. All quantities are integers, so the returned
+// similarity is the identical float ExhaustiveCandidates computes.
+//
+// The pair's size filter is the probing loop's responsibility (the
+// candidate was admitted through it); callers without probe state must
+// size-filter first.
+func (s *Scorer) verifyJaccardResumed(x, y int32, rs resume, t float64) (float64, bool) {
+	la, lb := s.size(x), s.size(y)
+	minInter := int(math.Ceil(t*float64(la+lb)/(1+t) - boundSlack))
+	shared := int(rs.shared)
+	if shared < 0 {
+		shared = bits.OnesCount64(s.freqMask[x] & s.freqMask[y])
+	}
+	rlx, rly := int(s.rareLen[x]), int(s.rareLen[y])
+	i, j := int(rs.xi)+1, int(rs.yj)+1
+	ov := int(rs.ov)
+	inter := ov + shared
+	// Known misses, charged up front: the resumed prefixes hold i − ov and
+	// j − ov unmatched slots, and each side's frequent suffix misses
+	// everything outside the shared row.
+	budgetA := la - minInter - (i - ov) - (la - rlx - shared)
+	budgetB := lb - minInter - (j - ov) - (lb - rly - shared)
+	if budgetA < 0 || budgetB < 0 {
+		return 0, false
+	}
+	ox, oy := s.offs[x], s.offs[y]
+	ra := s.rankValArena[ox+int32(i) : ox+int32(rlx)]
+	rb := s.rankValArena[oy+int32(j) : oy+int32(rly)]
+	if gallopMinRatio > 0 && (len(ra) >= gallopMinRatio*len(rb) || len(rb) >= gallopMinRatio*len(ra)) {
+		inter += intersectGallop(ra, rb)
+	} else {
+		pa, pb := 0, 0
+		for pa < len(ra) && pb < len(rb) {
+			switch {
+			case ra[pa] == rb[pb]:
+				inter++
+				pa++
+				pb++
+			case ra[pa] < rb[pb]:
+				pa++
+				budgetA--
+				if budgetA < 0 {
+					return 0, false
+				}
+			default:
+				pb++
+				budgetB--
+				if budgetB < 0 {
+					return 0, false
+				}
+			}
+		}
+	}
+	union := la + lb - inter
+	if union == 0 {
+		return 1, 1 >= t
+	}
+	sim := float64(inter) / float64(union)
+	return sim, sim >= t
+}
+
+// verifyWeightedResumed is the weighted acceptance test for the probing
+// pair (x, y). Weighted verification cannot reproduce Similarity's float
+// result from a reordered merge (float addition is not associative), so
+// the resumed merge is a *reject filter*: it accumulates intersection
+// weight from the probe state with a remaining-suffix-weight early exit,
+// and only pairs whose resumed intersection clears the (slack-padded)
+// threshold bound pay for the exact Similarity merge — which is the value
+// emitted, keeping results byte-identical to ExhaustiveCandidates.
+func (s *Scorer) verifyWeightedResumed(x, y int32, rs resume, t float64) (float64, bool) {
+	wx, wy := s.recWeight[x], s.recWeight[y]
+	// Weighted Jaccard ≥ t ⟺ inter ≥ t/(1+t)·(W(x)+W(y)); the slack
+	// scales with the weight magnitude (summation error grows with record
+	// size) and also covers the rank-order-vs-id-order accumulation
+	// difference between this filter and Similarity.
+	need := t/(1+t)*(wx+wy) - boundSlack*(1+wx+wy)
+	lx, ly := s.size(x), s.size(y)
+	ox, oy := s.offs[x], s.offs[y]
+	i, j := int(rs.xi)+1, int(rs.yj)+1
+	inter := rs.ov
+	remX, remY := wx, wy
+	if i > 0 {
+		remX = s.sufArena[ox+int32(i)-1]
+	}
+	if j > 0 {
+		remY = s.sufArena[oy+int32(j)-1]
+	}
+	rem := remX
+	if remY < rem {
+		rem = remY
+	}
+	if inter+rem < need {
+		return 0, false
+	}
+	rvx := s.rankValArena[ox : ox+int32(lx)]
+	rvy := s.rankValArena[oy : oy+int32(ly)]
+	for i < lx && j < ly {
+		switch {
+		case rvx[i] == rvy[j]:
+			inter += s.idf[s.rankArena[ox+int32(i)]]
+			i++
+			j++
+		case rvx[i] < rvy[j]:
+			i++
+			remX = s.sufArena[ox+int32(i)-1]
+			if remX < remY && inter+remX < need {
+				return 0, false
+			}
+		default:
+			j++
+			remY = s.sufArena[oy+int32(j)-1]
+			if remY < remX && inter+remY < need {
+				return 0, false
+			}
+		}
+	}
+	if inter < need {
+		return 0, false
+	}
+	sim := s.Similarity(x, y)
+	return sim, sim >= t
+}
+
+// gallopMinRatio switches the rare-remainder intersection to galloping
+// search when one side is that many times longer than the other; 0
+// disables galloping. The size filter bounds whole-record skew by 1/t, so
+// at production thresholds the rare remainders rarely skew enough for
+// search to beat the linear merge — the ablation benchmark
+// (BenchmarkVerifyKernelAblations) measures it; see DESIGN.md.
+var gallopMinRatio = 0
+
+// intersectGallop counts the intersection of two ascending rank slices by
+// galloping: each element of the shorter list is located in the longer by
+// an exponential probe + binary search from a moving frontier. No early
+// exit — the caller's budgets already charged every known miss, and the
+// count is exact, so the accepted similarity is unchanged.
+func intersectGallop(ra, rb []int32) int {
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	inter, lo := 0, 0
+	for _, v := range ra {
+		step := 1
+		for lo+step < len(rb) && rb[lo+step] < v {
+			step <<= 1
+		}
+		hi := lo + step
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if rb[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(rb) && rb[lo] == v {
+			inter++
+			lo++
+		}
+	}
+	return inter
+}
+
+// suffixFilterDepth bounds the recursion of the ppjoin+ suffix filter the
+// probe loop runs at a candidate's first prefix match; 0 disables the
+// filter. Measured as a negative result on the paper workload (the
+// binary partitions cost more than the resumed verification they avoid —
+// see DESIGN.md), so it ships disabled; the ablation benchmark flips it.
+var suffixFilterDepth = 0
+
+// suffixBound returns an upper bound on |ra ∩ rb| for two ascending rank
+// slices — the ppjoin+ suffix filter. It partitions ra at its middle
+// value, splits rb by binary search, and recurses depth levels; at depth
+// 0 the bound degrades to min(len, len). The bound is conservative by
+// construction (every match lands in exactly one partition), so killing a
+// candidate on it never loses a pair.
+func suffixBound(ra, rb []int32, depth int) int {
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra) == 0 {
+		return 0
+	}
+	if depth <= 0 {
+		return len(ra)
+	}
+	mid := len(ra) / 2
+	v := ra[mid]
+	lo, hi := 0, len(rb)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if rb[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	matched := 0
+	rbHi := lo
+	if lo < len(rb) && rb[lo] == v {
+		matched = 1
+		rbHi = lo + 1
+	}
+	return suffixBound(ra[:mid], rb[:lo], depth-1) + matched +
+		suffixBound(ra[mid+1:], rb[rbHi:], depth-1)
+}

@@ -36,8 +36,13 @@ import (
 //     after i, suffix weight after j); below t/(1+t)·(W(x)+W(y)) the
 //     candidate is killed before verification.
 //
-// Verification computes the exact weighted similarity via Similarity, so
-// results are byte-identical to ExhaustiveCandidates.
+// Verification resumes the weighted merge from the probe loop's
+// accumulated overlap as a reject filter (verifyWeightedResumed) and
+// computes the exact weighted similarity via Similarity for every pair
+// the filter cannot provably reject, so results are byte-identical to
+// ExhaustiveCandidates. The probe loop's size filter (weight-ratio check
+// against minPartner, the same slack-padded expression the previous
+// verifier applied) covers every admitted candidate.
 func WeightedPrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float64) ([]core.Pair, error) {
 	if minThreshold <= 0 || minThreshold > 1 {
 		return nil, fmt.Errorf("candgen: minThreshold %v outside (0,1]", minThreshold)
@@ -45,20 +50,8 @@ func WeightedPrefixCandidates(d *dataset.Dataset, s *Scorer, minThreshold float6
 	if s.weighting != IDFWeighted {
 		return nil, fmt.Errorf("candgen: weighted prefix filtering requires an IDF-weighted scorer")
 	}
-	verify := func(a, b int32) (float64, bool) {
-		wa, wb := s.recWeight[a], s.recWeight[b]
-		lo, hi := wa, wb
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		// Slack scales with the weight magnitude: summation error of the
-		// weight totals grows with record size, so an absolute epsilon
-		// could under-cover huge records.
-		if lo < minThreshold*hi-boundSlack*(1+hi) {
-			return 0, false
-		}
-		sim := s.Similarity(a, b)
-		return sim, sim >= minThreshold
+	verify := func(x, y int32, rs resume) (float64, bool) {
+		return s.verifyWeightedResumed(x, y, rs, minThreshold)
 	}
 	return positionalJoin(d, s, minThreshold, verify), nil
 }

@@ -6,16 +6,32 @@
 # (ns/op, B/op, allocs/op, and custom metrics per benchmark) so the perf
 # trajectory can be compared across PRs.
 #
-# Usage: scripts/bench.sh [count]
-#   count  -count passed to `go test` (default 1)
+# Usage: scripts/bench.sh [count]            regenerate BENCH_core.json
+#        scripts/bench.sh --compare [count]  diff a fresh run against the
+#                                            committed BENCH_core.json
+#                                            (benchstat-style deltas; exits
+#                                            1 when a BenchmarkCandidates*
+#                                            bench regresses >10% ns/op)
+#   count  -count passed to `go test` (default 1; --compare benefits from
+#          2-3 — benchjson takes the best-of-count sample per side)
 set -eu
 cd "$(dirname "$0")/.."
 
+MODE=run
+if [ "${1:-}" = "--compare" ]; then
+	MODE=compare
+	shift
+fi
 COUNT="${1:-1}"
 PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates'
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |
-	tee /dev/stderr |
-	go run ./cmd/benchjson >BENCH_core.json
-
-echo "wrote BENCH_core.json" >&2
+if [ "$MODE" = compare ]; then
+	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |
+		tee /dev/stderr |
+		go run ./cmd/benchjson -compare BENCH_core.json
+else
+	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |
+		tee /dev/stderr |
+		go run ./cmd/benchjson >BENCH_core.json
+	echo "wrote BENCH_core.json" >&2
+fi

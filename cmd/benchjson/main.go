@@ -10,8 +10,8 @@
 // committed snapshot: a benchstat-style delta table per shared benchmark
 // (best-of-count ns/op on each side, so -count reruns tighten the
 // comparison rather than skewing it), exiting 1 when any
-// candidate-generation benchmark (BenchmarkCandidates*) regresses more
-// than 10% in ns/op. CI runs the compare warn-only; the exit code is for
+// gated benchmark (the BenchmarkCandidates* family or
+// BenchmarkStreamingAppend) regresses more than 10% in ns/op. CI runs the compare warn-only; the exit code is for
 // local `scripts/bench.sh --compare` loops.
 package main
 
@@ -43,8 +43,16 @@ type Report struct {
 }
 
 // regressLimit is the ns/op growth (fraction of the baseline) past which a
-// candidate-generation benchmark counts as a regression.
+// gated benchmark counts as a regression.
 const regressLimit = 0.10
+
+// gated reports whether a benchmark's ns/op regression fails the compare:
+// the candidate-generation family and the streaming-append path, the two
+// kernels whose wall-clock the repo tracks as acceptance criteria.
+func gated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkCandidates") ||
+		strings.HasPrefix(name, "BenchmarkStreamingAppend")
+}
 
 func parse(r io.Reader) ([]Benchmark, error) {
 	var out []Benchmark
@@ -127,14 +135,14 @@ func compare(baselinePath string, fresh []Benchmark) int {
 		o := oldNs[name]
 		delta := (n - o) / o
 		mark := ""
-		if strings.HasPrefix(name, "BenchmarkCandidates") && delta > regressLimit {
+		if gated(name) && delta > regressLimit {
 			mark = "  REGRESSION"
 			regressed = append(regressed, name)
 		}
 		fmt.Printf("%-45s %14.0f %14.0f %+7.1f%%%s\n", name, o, n, 100*delta, mark)
 	}
 	if len(regressed) > 0 {
-		fmt.Printf("\n%d candidate benchmark(s) regressed >%.0f%% ns/op vs %s: %s\n",
+		fmt.Printf("\n%d gated benchmark(s) regressed >%.0f%% ns/op vs %s: %s\n",
 			len(regressed), 100*regressLimit, baselinePath, strings.Join(regressed, ", "))
 		return 1
 	}
@@ -142,7 +150,7 @@ func compare(baselinePath string, fresh []Benchmark) int {
 }
 
 func main() {
-	baseline := flag.String("compare", "", "baseline BENCH_core.json: print a delta table instead of JSON; exit 1 on candidate-benchmark regressions >10% ns/op")
+	baseline := flag.String("compare", "", "baseline BENCH_core.json: print a delta table instead of JSON; exit 1 on gated-benchmark regressions >10% ns/op")
 	flag.Parse()
 	benches, err := parse(os.Stdin)
 	if err != nil {

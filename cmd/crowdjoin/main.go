@@ -5,13 +5,25 @@
 //	crowdjoin -a records.txt [-b other.txt] [-threshold 0.3] [-idf]
 //	          [-crowd interactive|auto] [-truth truth.txt] [-parallel]
 //	          [-concurrency k] [-budget n] [-guess 0.5]
-//	          [-resume journal.log] [-trace]
+//	          [-resume journal.log] [-trace] [-stream]
 //
 // Records are one per line. With -b, the join is bipartite (pairs span the
 // two files); without it, the tool deduplicates -a. The crowd is either
 // you (-crowd interactive: answer y/n on stdin) or an automatic oracle
 // driven by -truth, a file assigning an entity key to each record (same
 // line order as the inputs, -a then -b).
+//
+// With -stream, the -a file is only the initial corpus: after the first
+// round of labeling, stdin carries newline-delimited batches of new
+// records (a blank line or EOF ends a batch). Each batch is appended to
+// the running session — candidate pairs against the whole corpus are
+// generated incrementally, answers already bought are never re-asked — and
+// after each round the clusters containing a new record are printed,
+// separated from the next round by a "=== batch k" marker. Because stdin
+// carries records, -stream requires -crowd auto; streamed lines are
+// "entitykey<TAB>record text" so the oracle can answer about them.
+// -stream is unipartite (-b is rejected) and pairs well with -resume: an
+// interrupted stream resumes with every answer and every arrival replayed.
 //
 // With -budget n, at most n pairs are crowdsourced and the rest fall back
 // to the machine guess (likelihood ≥ -guess → matching). With
@@ -55,10 +67,19 @@ func main() {
 	guess := flag.Float64("guess", 0.5, "guess matching at likelihood >= this once the budget is spent")
 	resume := flag.String("resume", "", "label-journal path: append answers and replay them on rerun")
 	trace := flag.Bool("trace", false, "stream per-pair progress events to stderr")
+	stream := flag.Bool("stream", false, "after the first round, read record batches from stdin and append them to the session")
 	flag.Parse()
 
 	if *fileA == "" {
 		fatal(fmt.Errorf("-a is required"))
+	}
+	if *stream {
+		if *fileB != "" {
+			fatal(fmt.Errorf("-stream joins are unipartite; -b is not supported"))
+		}
+		if *crowdMode != "auto" {
+			fatal(fmt.Errorf("-stream requires -crowd auto: stdin carries the record stream, not crowd answers"))
+		}
 	}
 	a, err := readLines(*fileA)
 	if err != nil {
@@ -72,36 +93,44 @@ func main() {
 	}
 	texts := append(append([]string{}, a...), b...)
 
-	oracle, err := buildOracle(*crowdMode, *truthFile, texts)
+	oracle, keys, err := buildOracle(*crowdMode, *truthFile, texts)
 	if err != nil {
 		fatal(err)
 	}
-
-	// Generate candidates up front so the user sees how much work lies
-	// ahead before the first question; the session then labels the
-	// precomputed set (in the default likelihood-descending order).
-	matcher := crowdjoin.Matcher{Threshold: *threshold, UseIDF: *idf}
-	var pairs []crowdjoin.Pair
-	if b == nil {
-		pairs, err = matcher.Candidates(a)
-	} else {
-		pairs, err = matcher.CandidatesAcross(a, b)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "%d records, %d candidate pairs above %.2f\n", len(texts), len(pairs), *threshold)
-
 	if *concurrency > 1 {
 		// Shard goroutines ask the oracle concurrently; the interactive
 		// oracle reads stdin and must not interleave two questions.
 		oracle = synchronizedOracle(oracle)
 	}
-	opts := []crowdjoin.JoinOption{
-		crowdjoin.WithPairs(len(texts), pairs),
+
+	matcher := crowdjoin.Matcher{Threshold: *threshold, UseIDF: *idf}
+	var opts []crowdjoin.JoinOption
+	if *stream {
+		// Streaming sessions keep the matcher attached: Join.Append extends
+		// the candidate index incrementally instead of labeling a
+		// precomputed pair set.
+		fmt.Fprintf(os.Stderr, "%d initial records; appending batches from stdin\n", len(a))
+		opts = append(opts, crowdjoin.WithTexts(a), crowdjoin.WithMatcher(matcher))
+	} else {
+		// Generate candidates up front so the user sees how much work lies
+		// ahead before the first question; the session then labels the
+		// precomputed set (in the default likelihood-descending order).
+		var pairs []crowdjoin.Pair
+		if b == nil {
+			pairs, err = matcher.Candidates(a)
+		} else {
+			pairs, err = matcher.CandidatesAcross(a, b)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d records, %d candidate pairs above %.2f\n", len(texts), len(pairs), *threshold)
+		opts = append(opts, crowdjoin.WithPairs(len(texts), pairs))
+	}
+	opts = append(opts,
 		crowdjoin.WithOracle(oracle),
 		crowdjoin.WithConcurrency(*concurrency),
-	}
+	)
 	switch {
 	case *parallel && *budget >= 0:
 		fatal(fmt.Errorf("-parallel and -budget are mutually exclusive"))
@@ -131,6 +160,10 @@ func main() {
 			switch e.Kind {
 			case crowdjoin.EventRoundPublished:
 				fmt.Fprintf(os.Stderr, "%s: round %d published (%d pairs)\n", prefix(e), e.Round, e.Size)
+			case crowdjoin.EventRecordAppended:
+				fmt.Fprintf(os.Stderr, "%s: append %d integrated %d records\n", prefix(e), e.Round, e.Size)
+			case crowdjoin.EventComponentsMerged:
+				fmt.Fprintf(os.Stderr, "%s: component %d absorbed component %d\n", prefix(e), e.Component, e.Absorbed)
 			default:
 				fmt.Fprintf(os.Stderr, "%s: %v %v -> %v\n", prefix(e), e.Kind, e.Pair, e.Label)
 			}
@@ -151,6 +184,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+
+	if *stream {
+		streamLoop(ctx, j, &texts, keys, *resume)
+		return
+	}
+
 	res, err := j.Run(ctx)
 	if res == nil {
 		fatal(err)
@@ -187,7 +226,98 @@ func main() {
 	}
 }
 
-func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, error) {
+// streamLoop drives a -stream session: label the initial corpus, then
+// append record batches from stdin (blank line or EOF ends a batch, lines
+// are "entitykey<TAB>record text") and re-run after each, printing the
+// clusters that contain a new record. Answers already bought are replayed
+// from the session's memory (or the -resume journal), never re-asked.
+func streamLoop(ctx context.Context, j *crowdjoin.Join, texts *[]string, keys *[]string, resume string) {
+	round := func(batch, newFrom int) bool {
+		res, err := j.Run(ctx)
+		if res == nil {
+			fatal(err)
+		}
+		if res.Partial {
+			fmt.Fprintf(os.Stderr, "interrupted (%v): printing the partial join\n", err)
+		} else if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "crowdsourced %d pairs, deduced %d via transitive relations", res.NumCrowdsourced, res.NumDeduced)
+		if res.Replayed > 0 {
+			src := "earlier rounds"
+			if resume != "" {
+				src = resume
+			}
+			fmt.Fprintf(os.Stderr, " (%d answers replayed from %s)", res.Replayed, src)
+		}
+		fmt.Fprintln(os.Stderr)
+		clusters, cerr := res.Clusters()
+		if cerr != nil {
+			fatal(cerr)
+		}
+		if batch > 0 {
+			fmt.Printf("=== batch %d\n", batch)
+		}
+		for _, c := range clusters {
+			// Members are ascending, so the last one says whether the
+			// cluster touches this batch's records.
+			if len(c) < 2 || int(c[len(c)-1]) < newFrom {
+				continue
+			}
+			for _, o := range c {
+				fmt.Println((*texts)[o])
+			}
+			fmt.Println("---")
+		}
+		return !res.Partial
+	}
+	if !round(0, 0) {
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for batch := 1; ; batch++ {
+		var records, recordKeys []string
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				if len(records) > 0 {
+					break
+				}
+				continue
+			}
+			key, text, ok := strings.Cut(line, "\t")
+			if !ok {
+				fatal(fmt.Errorf("-stream line %q: want \"entitykey<TAB>record text\"", line))
+			}
+			records = append(records, strings.TrimSpace(text))
+			recordKeys = append(recordKeys, strings.TrimSpace(key))
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		if len(records) == 0 {
+			return
+		}
+		newFrom := len(*texts)
+		*keys = append(*keys, recordKeys...)
+		*texts = append(*texts, records...)
+		ar, err := j.Append(records...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "appended %d records: %d new candidate pairs, %d component merges, %d objects total\n",
+			ar.NumRecords, len(ar.NewPairs), len(ar.Merges), ar.NumObjects)
+		if !round(batch, newFrom) {
+			return
+		}
+	}
+}
+
+// buildOracle returns the crowd backend and, for -crowd auto, a pointer to
+// its growable entity-key slice so -stream can extend the truth alongside
+// appended records.
+func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, *[]string, error) {
 	switch mode {
 	case "interactive":
 		in := bufio.NewScanner(os.Stdin)
@@ -205,26 +335,28 @@ func buildOracle(mode, truthFile string, texts []string) (crowdjoin.Oracle, erro
 					return crowdjoin.NonMatching
 				}
 			}
-		}), nil
+		}), nil, nil
 	case "auto":
 		if truthFile == "" {
-			return nil, fmt.Errorf("-crowd auto requires -truth")
+			return nil, nil, fmt.Errorf("-crowd auto requires -truth")
 		}
 		keys, err := readLines(truthFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(keys) != len(texts) {
-			return nil, fmt.Errorf("truth has %d lines for %d records", len(keys), len(texts))
+			return nil, nil, fmt.Errorf("truth has %d lines for %d records", len(keys), len(texts))
 		}
+		kp := &keys
 		return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
-			if keys[p.A] == keys[p.B] {
+			k := *kp
+			if k[p.A] == k[p.B] {
 				return crowdjoin.Matching
 			}
 			return crowdjoin.NonMatching
-		}), nil
+		}), kp, nil
 	default:
-		return nil, fmt.Errorf("unknown crowd mode %q", mode)
+		return nil, nil, fmt.Errorf("unknown crowd mode %q", mode)
 	}
 }
 

@@ -1,0 +1,100 @@
+// Streaming dedup: records arrive in batches while the session is live.
+// Join.Append integrates each batch incrementally — candidate pairs
+// against the whole corpus come from an incremental size-ordered index,
+// the component partition is updated in place (watch the merge events when
+// a late record bridges two clusters), and answers bought in earlier
+// rounds are replayed from the session's memory, never re-crowdsourced.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crowdjoin"
+)
+
+func main() {
+	// The catalog starts with four listings; two more batches arrive later.
+	initial := []string{
+		"apple ipad 2nd gen tablet 16gb black",
+		"apple ipad two tablet 16gb black",
+		"sony kdl40 television lcd 40 inch",
+		"dyson dc25 vacuum upright",
+	}
+	arrivals := [][]string{
+		{
+			"sony kdl40 lcd tv 40 inch black",
+			"dyson dc25 upright vacuum cleaner",
+		},
+		{
+			// This listing mentions both the tablet and the tv — it bridges
+			// their components (watch the merge event), and the crowd gets
+			// the final say on which cluster it actually belongs to.
+			"apple ipad tablet sony kdl40 lcd tv",
+		},
+	}
+	truth := []int32{0, 0, 1, 2, 1, 2, 0} // ground truth, in arrival order
+
+	asked := 0
+	crowd := crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+		asked++
+		if truth[p.A] == truth[p.B] {
+			return crowdjoin.Matching
+		}
+		return crowdjoin.NonMatching
+	})
+
+	j, err := crowdjoin.NewJoin(
+		crowdjoin.WithTexts(initial),
+		crowdjoin.WithMatcher(crowdjoin.Matcher{Threshold: 0.3}),
+		crowdjoin.WithOracle(crowd),
+		crowdjoin.WithProgress(func(e crowdjoin.Event) {
+			switch e.Kind {
+			case crowdjoin.EventRecordAppended:
+				fmt.Printf("  [event] append %d integrated %d records\n", e.Round, e.Size)
+			case crowdjoin.EventComponentsMerged:
+				fmt.Printf("  [event] component %d absorbed component %d\n", e.Component, e.Absorbed)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	texts := append([]string{}, initial...)
+	runRound := func(title string) {
+		res, err := j.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: crowdsourced %d, deduced %d, replayed %d (crowd asked %d total)\n",
+			title, res.NumCrowdsourced, res.NumDeduced, res.Replayed, asked)
+		clusters, err := res.Clusters()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range clusters {
+			if len(c) < 2 {
+				continue
+			}
+			fmt.Print("  cluster:")
+			for _, o := range c {
+				fmt.Printf(" %q", texts[o])
+			}
+			fmt.Println()
+		}
+	}
+
+	runRound("initial corpus")
+	for _, batch := range arrivals {
+		ar, err := j.Append(batch...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		texts = append(texts, batch...)
+		fmt.Printf("appended %d records: %d new candidate pairs, %d merges\n",
+			ar.NumRecords, len(ar.NewPairs), len(ar.Merges))
+		runRound("after append")
+	}
+}

@@ -403,15 +403,19 @@ func buildPostings(numTokens, numRecords int, ids []int32, tokensOf func(int32) 
 // SortByLikelihood sorts pairs by likelihood descending, breaking ties by
 // object ids for determinism.
 func SortByLikelihood(pairs []core.Pair) {
-	slices.SortFunc(pairs, func(a, b core.Pair) int {
-		if c := cmp.Compare(b.Likelihood, a.Likelihood); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(a.A, b.A); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.B, b.B)
-	})
+	slices.SortFunc(pairs, comparePairsByLikelihood)
+}
+
+// comparePairsByLikelihood is SortByLikelihood's ordering as a comparator,
+// shared with the stream index's sorted-accumulation merge.
+func comparePairsByLikelihood(a, b core.Pair) int {
+	if c := cmp.Compare(b.Likelihood, a.Likelihood); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.A, b.A); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.B, b.B)
 }
 
 // ForThreshold returns the prefix of a likelihood-descending master list

@@ -27,6 +27,15 @@ const (
 	// closure of earlier answers and the implied label was kept instead.
 	// Label carries the label that was applied.
 	EventConflictOverridden
+	// EventRecordAppended: a streaming session appended a record batch.
+	// Size carries the batch's record count and Round the 0-based append
+	// ordinal; Pair and Label are zero.
+	EventRecordAppended
+	// EventComponentsMerged: an appended candidate pair bridged two
+	// established components of the candidate graph. Component carries the
+	// surviving (lower) stable component id and Absorbed the id it
+	// swallowed.
+	EventComponentsMerged
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +53,10 @@ func (k EventKind) String() string {
 		return "round-published"
 	case EventConflictOverridden:
 		return "conflict-overridden"
+	case EventRecordAppended:
+		return "record-appended"
+	case EventComponentsMerged:
+		return "components-merged"
 	default:
 		return "EventKind(?)"
 	}
@@ -62,8 +75,14 @@ type Event struct {
 	// Component identifies the connected component of the candidate graph
 	// the event's shard owns, on events from component-sharded runs (the
 	// LabelSharded* drivers). Unsharded drivers leave it 0, so it is only
-	// meaningful when the caller asked for sharded execution.
+	// meaningful when the caller asked for sharded execution. On
+	// EventComponentsMerged it carries the surviving stable component id
+	// instead (the IncrementalPartitioner's numbering, not the per-run
+	// shard numbering).
 	Component int
+	// Absorbed is set only on EventComponentsMerged: the stable component
+	// id swallowed by Component.
+	Absorbed int
 }
 
 // RunOpts carries the cross-cutting session concerns — cancellation and

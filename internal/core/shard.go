@@ -57,6 +57,9 @@ func (p *Partition) Locate(globalID int) (shard, local int) {
 	return int(p.shardOf[globalID]), int(p.localID[globalID])
 }
 
+// NumPairs returns the total number of pairs across all shards.
+func (p *Partition) NumPairs() int { return len(p.shardOf) }
+
 // BuildPartition validates the candidate set and splits it into connected
 // components with a union-find over the pairs' endpoints.
 func BuildPartition(numObjects int, order []Pair) (*Partition, error) {
@@ -81,7 +84,15 @@ func BuildPartition(numObjects int, order []Pair) (*Partition, error) {
 			parent[rb] = ra
 		}
 	}
+	return buildShardsFrom(numObjects, order, find), nil
+}
 
+// buildShardsFrom re-encodes order as per-component shards, given a find
+// function under which both endpoints of every pair share a root. The find
+// may come from BuildPartition's throwaway forest or from a persistent
+// IncrementalPartitioner; shard numbering depends only on order, so the
+// two agree exactly.
+func buildShardsFrom(numObjects int, order []Pair, find func(int32) int32) *Partition {
 	// Number components by first appearance in the order and size them, so
 	// the shard slices can be allocated exactly.
 	comp := make([]int32, numObjects)
@@ -136,7 +147,7 @@ func BuildPartition(numObjects int, order []Pair) (*Partition, error) {
 		})
 		s.Global = append(s.Global, p)
 	}
-	return pt, nil
+	return pt
 }
 
 // shardRunOpts builds the per-shard RunOpts: same context, progress events
@@ -284,9 +295,16 @@ func LabelShardedSequentialRun(numObjects int, order []Pair, oracle Oracle, k in
 	if err != nil {
 		return nil, err
 	}
-	res := newResult(len(order))
+	return LabelPartitionedSequentialRun(pt, oracle, k, ro)
+}
+
+// LabelPartitionedSequentialRun is LabelShardedSequentialRun over an
+// already-built Partition — streaming sessions build the partition once
+// with an IncrementalPartitioner and hand it in here.
+func LabelPartitionedSequentialRun(pt *Partition, oracle Oracle, k int, ro RunOpts) (*Result, error) {
+	res := newResult(pt.NumPairs())
 	var mu sync.Mutex
-	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+	err := runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
 		r, err := LabelSequentialRun(s.NumObjects, s.Order, shardOracle{oracle, s}, sro)
 		if r != nil {
 			mu.Lock()
@@ -313,9 +331,15 @@ func LabelShardedParallelRun(numObjects int, order []Pair, oracle BatchOracle, k
 	if err != nil {
 		return nil, err
 	}
-	res := &ParallelResult{Result: *newResult(len(order))}
+	return LabelPartitionedParallelRun(pt, oracle, k, ro)
+}
+
+// LabelPartitionedParallelRun is LabelShardedParallelRun over an
+// already-built Partition.
+func LabelPartitionedParallelRun(pt *Partition, oracle BatchOracle, k int, ro RunOpts) (*ParallelResult, error) {
+	res := &ParallelResult{Result: *newResult(pt.NumPairs())}
 	var mu sync.Mutex
-	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+	err := runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
 		r, err := LabelParallelRun(s.NumObjects, s.Order, shardBatchOracle{oracle, s}, sro)
 		if r != nil {
 			mu.Lock()
@@ -341,9 +365,15 @@ func LabelShardedOneToOneRun(numObjects int, order []Pair, oracle Oracle, k int,
 	if err != nil {
 		return nil, err
 	}
-	res := &OneToOneResult{Result: *newResult(len(order))}
+	return LabelPartitionedOneToOneRun(pt, oracle, k, ro)
+}
+
+// LabelPartitionedOneToOneRun is LabelShardedOneToOneRun over an
+// already-built Partition.
+func LabelPartitionedOneToOneRun(pt *Partition, oracle Oracle, k int, ro RunOpts) (*OneToOneResult, error) {
+	res := &OneToOneResult{Result: *newResult(pt.NumPairs())}
 	var mu sync.Mutex
-	err = runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
+	err := runShards(pt, k, ro, func(s *Shard, sro RunOpts) error {
 		r, err := LabelSequentialOneToOneRun(s.NumObjects, s.Order, shardOracle{oracle, s}, sro)
 		if r != nil {
 			mu.Lock()

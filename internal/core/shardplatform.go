@@ -50,7 +50,15 @@ func LabelShardedOnPlatformRun(numObjects int, order []Pair, pf Platform, opts P
 	if err != nil {
 		return nil, err
 	}
-	res := &TraceResult{Result: *newResult(len(order))}
+	return LabelPartitionedOnPlatformRun(pt, pf, opts, ro)
+}
+
+// LabelPartitionedOnPlatformRun is LabelShardedOnPlatformRun over an
+// already-built Partition — streaming sessions build the partition once
+// with an IncrementalPartitioner and hand it in here.
+func LabelPartitionedOnPlatformRun(pt *Partition, pf Platform, opts PlatformOptions, ro RunOpts) (*TraceResult, error) {
+	numPairs := pt.NumPairs()
+	res := &TraceResult{Result: *newResult(numPairs)}
 	var progressMu sync.Mutex
 
 	states := make([]*platformShardState, len(pt.Shards))
@@ -108,7 +116,7 @@ func LabelShardedOnPlatformRun(numObjects int, order []Pair, pf Platform, opts P
 		res.PublishSizes = append(res.PublishSizes, len(global))
 	}
 
-	unlabeled := len(order)
+	unlabeled := numPairs
 	deducePair := func(st *platformShardState, q Pair) {
 		if st.res.Labels[q.ID] != Unlabeled || st.published[q.ID] {
 			return
@@ -162,7 +170,7 @@ func LabelShardedOnPlatformRun(numObjects int, order []Pair, pf Platform, opts P
 		if err := checkAnswer(p, l); err != nil {
 			return nil, err
 		}
-		if p.ID < 0 || p.ID >= len(order) {
+		if p.ID < 0 || p.ID >= numPairs {
 			return nil, fmt.Errorf("core: platform returned unknown pair %v", p)
 		}
 		si, li := pt.Locate(p.ID)

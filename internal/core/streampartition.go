@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdjoin/internal/unionfind"
+)
+
+// ComponentMerge records that an appended candidate pair bridged two
+// established components of the candidate graph: every object and pair of
+// Absorbed now belongs to Winner. Ids are the partitioner's stable ids —
+// assigned once, when a component gains its first pair — and the lower id
+// always wins, so a component's id never changes while it exists.
+type ComponentMerge struct {
+	Winner   int
+	Absorbed int
+}
+
+// IncrementalPartitioner maintains the connected components of a growing
+// candidate graph across record appends, so a streaming session can route
+// new pairs into components — and detect live component merges — without
+// re-deriving the partition from scratch on every Run.
+//
+// It is the streaming counterpart of BuildPartition: AddPairs unions new
+// candidate pairs into a persistent forest and reports merges of
+// established components; Grow extends the object universe when records
+// arrive; BuildShards re-encodes a labeling order into per-component
+// shards reusing the persistent forest instead of rebuilding a throwaway
+// one.
+//
+// Two component numberings coexist deliberately. Stable ids (ComponentOf,
+// ComponentMerge) are assigned at first pair and survive until absorbed —
+// they are the ids progress events speak. Shard numbering inside a built
+// Partition is by first appearance in the order, exactly matching
+// BuildPartition, so a partition built here is interchangeable with a
+// from-scratch one.
+type IncrementalPartitioner struct {
+	uf *unionfind.UF
+	// comp[r] is the stable component id of the set rooted at r, or -1
+	// while the set has no pair yet (singletons are not components).
+	comp []int32
+	next int32
+}
+
+// NewIncrementalPartitioner returns a partitioner over numObjects
+// singleton objects and no pairs.
+func NewIncrementalPartitioner(numObjects int) *IncrementalPartitioner {
+	ip := &IncrementalPartitioner{uf: unionfind.New(numObjects)}
+	ip.comp = make([]int32, numObjects)
+	for i := range ip.comp {
+		ip.comp[i] = -1
+	}
+	return ip
+}
+
+// NumObjects returns the current size of the object universe.
+func (ip *IncrementalPartitioner) NumObjects() int { return ip.uf.Len() }
+
+// Grow extends the object universe to numObjects, the new objects as
+// pairless singletons; a no-op when the universe is already that large.
+func (ip *IncrementalPartitioner) Grow(numObjects int) {
+	ip.uf.Grow(numObjects)
+	for len(ip.comp) < numObjects {
+		ip.comp = append(ip.comp, -1)
+	}
+}
+
+// ComponentOf returns obj's stable component id, or -1 while no added pair
+// touches obj's set.
+func (ip *IncrementalPartitioner) ComponentOf(obj int32) int {
+	return int(ip.comp[ip.uf.Find(obj)])
+}
+
+// AddPairs unions the pairs' endpoints into the partition and returns the
+// merges of established components this caused, in the order they
+// happened. A pair whose endpoints were both pairless starts a fresh
+// component (next stable id); a pair joining a pairless set to a component
+// extends that component silently; only a pair bridging two components
+// produces a ComponentMerge, with the lower stable id surviving. Pair IDs
+// and likelihoods are ignored — only endpoints matter here.
+func (ip *IncrementalPartitioner) AddPairs(pairs []Pair) ([]ComponentMerge, error) {
+	var merges []ComponentMerge
+	n := int32(ip.uf.Len())
+	for _, p := range pairs {
+		if p.A < 0 || p.A >= n || p.B < 0 || p.B >= n {
+			return merges, fmt.Errorf("core: pair (%d, %d) outside the %d-object universe", p.A, p.B, n)
+		}
+		if p.A == p.B {
+			return merges, fmt.Errorf("core: self pair (%d, %d)", p.A, p.B)
+		}
+		ca := ip.comp[ip.uf.Find(p.A)]
+		cb := ip.comp[ip.uf.Find(p.B)]
+		root, absorbed, merged := ip.uf.Union(p.A, p.B)
+		if !merged {
+			continue // duplicate edge inside one component
+		}
+		var id int32
+		switch {
+		case ca == -1 && cb == -1:
+			id = ip.next
+			ip.next++
+		case ca == -1:
+			id = cb
+		case cb == -1:
+			id = ca
+		default:
+			id = min(ca, cb)
+			merges = append(merges, ComponentMerge{Winner: int(id), Absorbed: int(max(ca, cb))})
+		}
+		ip.comp[absorbed] = -1
+		ip.comp[root] = id
+	}
+	return merges, nil
+}
+
+// BuildShards re-encodes order into per-component shards, reusing the
+// persistent forest. Every pair in order must already have been added (its
+// endpoints connected); a pair the partitioner has never seen is an error,
+// because silently unioning it here would skip its merge events. The
+// returned Partition is identical to BuildPartition(NumObjects(), order) —
+// shards are numbered by first appearance in order, not by stable id.
+func (ip *IncrementalPartitioner) BuildShards(order []Pair) (*Partition, error) {
+	if err := ValidatePairs(ip.uf.Len(), order); err != nil {
+		return nil, err
+	}
+	for _, p := range order {
+		if !ip.uf.Same(p.A, p.B) {
+			return nil, fmt.Errorf("core: pair (%d, %d) was never added to the partitioner", p.A, p.B)
+		}
+	}
+	return buildShardsFrom(ip.uf.Len(), order, ip.uf.Find), nil
+}

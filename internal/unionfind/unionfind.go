@@ -113,6 +113,24 @@ func (u *UF) UndoUnion() {
 	}
 }
 
+// Grow extends the universe to n elements, the new ones as singleton sets;
+// a no-op when the universe already has n or more. Growing is not
+// journaled, so it panics in rollback mode — an undo past the old size
+// would corrupt the forest.
+func (u *UF) Grow(n int) {
+	if n <= len(u.parent) {
+		return
+	}
+	if u.undoable {
+		panic("unionfind: Grow in rollback mode")
+	}
+	for i := len(u.parent); i < n; i++ {
+		u.parent = append(u.parent, int32(i))
+		u.size = append(u.size, 1)
+		u.sets++
+	}
+}
+
 // Same reports whether x and y are in the same set.
 func (u *UF) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
 

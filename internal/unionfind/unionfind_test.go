@@ -296,3 +296,45 @@ func TestCloneIntoSizeMismatchPanics(t *testing.T) {
 	}()
 	New(3).CloneInto(New(4))
 }
+
+func TestGrow(t *testing.T) {
+	u := New(2)
+	u.Union(0, 1)
+	u.Grow(5)
+	if got, want := u.Len(), 5; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := u.Sets(), 4; got != want {
+		t.Fatalf("Sets = %d, want %d", got, want)
+	}
+	for i := int32(2); i < 5; i++ {
+		if u.SizeOf(i) != 1 {
+			t.Fatalf("grown element %d not a singleton", i)
+		}
+		if u.Same(0, i) {
+			t.Fatalf("grown element %d joined to an old set", i)
+		}
+	}
+	if !u.Same(0, 1) {
+		t.Fatal("Grow broke an existing union")
+	}
+	u.Grow(3) // shrinking request: no-op
+	if got, want := u.Len(), 5; got != want {
+		t.Fatalf("after no-op Grow, Len = %d, want %d", got, want)
+	}
+	u.Union(1, 4)
+	if !u.Same(0, 4) || u.SizeOf(4) != 3 {
+		t.Fatal("union across the grown boundary failed")
+	}
+}
+
+func TestGrowInRollbackModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grow in rollback mode did not panic")
+		}
+	}()
+	u := New(2)
+	u.BeginUndoLog()
+	u.Grow(4)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"crowdjoin/internal/core"
 )
@@ -28,6 +29,8 @@ const (
 	EventPairConstraintDeduced = core.EventPairConstraintDeduced
 	EventRoundPublished        = core.EventRoundPublished
 	EventConflictOverridden    = core.EventConflictOverridden
+	EventRecordAppended        = core.EventRecordAppended
+	EventComponentsMerged      = core.EventComponentsMerged
 )
 
 // Ordering decides the labeling order of a candidate set — itself a
@@ -156,6 +159,18 @@ type Join struct {
 	// journalUsed marks that a Run already consumed the journal's read
 	// side; a later Run must rewind it (io.Seeker) or refuse.
 	journalUsed bool
+
+	// streamMu guards stream, which exists once Append has switched the
+	// session to streaming (see stream.go); candidates then come from the
+	// incremental index instead of the batch matcher. It also guards mem,
+	// the session-lifetime answer cache: every Run without a file journal
+	// records its crowd answers here and replays them on later Runs, so a
+	// session never buys the same answer twice — in particular, a streaming
+	// session's finishing Run replays everything its mid-stream Runs paid
+	// for, including a Run that preceded the first Append.
+	streamMu sync.Mutex
+	stream   *streamState
+	mem      *journalState
 
 	err error // first configuration error
 }
@@ -370,13 +385,13 @@ func NewJoin(opts ...JoinOption) (*Join, error) {
 	return j, nil
 }
 
-// singleOracle resolves the per-pair crowd, adapting a batch oracle when
-// only that was configured (NewJoin guarantees one of the two exists).
-func (j *Join) singleOracle() Oracle {
-	if j.oracle != nil {
-		return j.oracle
+// singleOracleFrom resolves the per-pair crowd, adapting a batch oracle
+// when only that was configured (NewJoin guarantees one of the two
+// exists).
+func singleOracleFrom(oracle Oracle, batch BatchOracle) Oracle {
+	if oracle != nil {
+		return oracle
 	}
-	batch := j.batch
 	return OracleFunc(func(p Pair) Label {
 		ans := batch.LabelBatch([]Pair{p})
 		if len(ans) == 0 {
@@ -386,13 +401,13 @@ func (j *Join) singleOracle() Oracle {
 	})
 }
 
-// batchOracle resolves the whole-round crowd, lifting a per-pair oracle
-// when only that was configured.
-func (j *Join) batchOracle() BatchOracle {
-	if j.batch != nil {
-		return j.batch
+// batchOracleFrom resolves the whole-round crowd, lifting a per-pair
+// oracle when only that was configured.
+func batchOracleFrom(oracle Oracle, batch BatchOracle) BatchOracle {
+	if batch != nil {
+		return batch
 	}
-	return core.Batched(j.oracle)
+	return core.Batched(oracle)
 }
 
 // JoinResult is the consolidated outcome of Join.Run. All per-pair slices
@@ -434,8 +449,10 @@ type JoinResult struct {
 	// NumConstraintDeduced counts labels forced by the one-to-one
 	// constraint (OneToOneStrategy).
 	NumConstraintDeduced int
-	// Replayed counts crowd answers served from the journal instead of the
-	// crowd (sessions resumed via WithJournal).
+	// Replayed counts crowd answers served without consulting the crowd:
+	// from the journal (sessions resumed via WithJournal), or from the
+	// session's in-memory answer cache (journal-less sessions re-Run, or
+	// streaming sessions finishing after mid-stream Runs).
 	Replayed int
 	// Components is the number of connected components the candidate graph
 	// split into, on component-sharded runs (WithConcurrency > 1); 0
@@ -463,6 +480,28 @@ func (r *JoinResult) fill(c *core.Result) {
 	r.NumDeduced = c.NumDeduced
 }
 
+// orderAndShard applies the configured ordering and, for sharded sessions
+// (WithConcurrency > 1), builds the component partition the drivers run
+// over. A streaming unweighted session reuses the incremental
+// partitioner's persistent forest; IDF sessions rescore pairs at Run, so
+// their partition is derived from scratch like a batch session's. Both
+// routes produce identical partitions for the same order.
+func (j *Join) orderAndShard(numObjects int, pairs []Pair, st *streamState) ([]Pair, *core.Partition, error) {
+	order := j.ordering(pairs)
+	if len(order) != len(pairs) {
+		return nil, nil, fmt.Errorf("crowdjoin: ordering returned %d pairs for %d candidates", len(order), len(pairs))
+	}
+	if j.concurrency <= 1 {
+		return order, nil, nil
+	}
+	if st != nil && !st.weighted {
+		pt, err := st.ip.BuildShards(order)
+		return order, pt, err
+	}
+	pt, err := core.BuildPartition(numObjects, order)
+	return order, pt, err
+}
+
 // Run executes the session: generate candidates (unless supplied), apply
 // the labeling order, replay the journal if one is attached, and drive the
 // configured strategy to completion.
@@ -475,21 +514,47 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pairs := j.pairs
-	if !j.havePairs {
+	// Snapshot the input. A streaming session (Append was called) reads the
+	// incremental index and partitioner under streamMu, so a concurrent
+	// Append is either fully in this Run or fully in the next one; a batch
+	// session generates candidates from the matcher as before.
+	var (
+		numObjects int
+		order      []Pair
+		pt         *core.Partition
+		arrivals   []int
+	)
+	j.streamMu.Lock()
+	st := j.stream
+	if st != nil {
+		numObjects = st.idx.NumRecords()
+		arrivals = append([]int(nil), st.arrivals...)
 		var err error
-		if j.bipartite {
-			pairs, err = j.matcher.CandidatesAcross(j.texts, j.textsB)
-		} else {
-			pairs, err = j.matcher.Candidates(j.texts)
-		}
+		order, pt, err = j.orderAndShard(numObjects, st.idx.Pairs(), st)
+		j.streamMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
-	}
-	order := j.ordering(pairs)
-	if len(order) != len(pairs) {
-		return nil, fmt.Errorf("crowdjoin: ordering returned %d pairs for %d candidates", len(order), len(pairs))
+	} else {
+		j.streamMu.Unlock()
+		numObjects = j.numObjects
+		pairs := j.pairs
+		if !j.havePairs {
+			var err error
+			if j.bipartite {
+				pairs, err = j.matcher.CandidatesAcross(j.texts, j.textsB)
+			} else {
+				pairs, err = j.matcher.Candidates(j.texts)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		order, pt, err = j.orderAndShard(numObjects, pairs, nil)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	oracle, batch, platform := j.oracle, j.batch, j.platform
@@ -510,8 +575,12 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			}
 		}
 		j.journalUsed = true
+		initialObjects := numObjects
+		if st != nil {
+			initialObjects = st.n0
+		}
 		var err error
-		jrn, err = openJournal(j.journal, j.numObjects)
+		jrn, err = openJournal(j.journal, initialObjects, arrivals)
 		if err != nil {
 			return nil, err
 		}
@@ -522,6 +591,20 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		runCtx, cancel = context.WithCancel(ctx)
 		defer cancel()
 		jrn.onError = cancel
+	} else {
+		// No file journal: answers bought by earlier Runs of this session
+		// are cached in memory and replayed, so a re-Run — and in
+		// particular the finishing Run of a streaming join — never
+		// re-crowdsources a pair.
+		j.streamMu.Lock()
+		if j.mem == nil {
+			j.mem = newMemoryJournal(numObjects)
+		}
+		jrn = j.mem
+		j.streamMu.Unlock()
+		jrn.resetReplay()
+	}
+	if jrn != nil {
 		if oracle != nil {
 			oracle = &journalOracle{inner: oracle, jrn: jrn}
 		}
@@ -532,21 +615,10 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			platform = &journalPlatform{inner: platform, jrn: jrn}
 		}
 	}
-	// Re-resolve the backends against the journal-wrapped instances.
-	session := *j
-	session.oracle, session.batch, session.platform = oracle, batch, platform
-
 	ro := core.RunOpts{Ctx: runCtx, Progress: j.progress}
-	res := &JoinResult{NumObjects: j.numObjects, Order: order}
+	res := &JoinResult{NumObjects: numObjects, Order: order}
 	sharded := j.concurrency > 1
 	if sharded {
-		// Count the components once for the result; the sharded drivers
-		// rebuild the partition internally (it is cheap relative to any
-		// crowd interaction).
-		pt, err := core.BuildPartition(j.numObjects, order)
-		if err != nil {
-			return nil, err
-		}
 		res.Components = len(pt.Shards)
 	}
 	var runErr error
@@ -555,9 +627,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		var r *core.Result
 		var err error
 		if sharded {
-			r, err = core.LabelShardedSequentialRun(j.numObjects, order, session.singleOracle(), j.concurrency, ro)
+			r, err = core.LabelPartitionedSequentialRun(pt, singleOracleFrom(oracle, batch), j.concurrency, ro)
 		} else {
-			r, err = core.LabelSequentialRun(j.numObjects, order, session.singleOracle(), ro)
+			r, err = core.LabelSequentialRun(numObjects, order, singleOracleFrom(oracle, batch), ro)
 		}
 		runErr = err
 		if r != nil {
@@ -567,9 +639,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		var r *core.ParallelResult
 		var err error
 		if sharded {
-			r, err = core.LabelShardedParallelRun(j.numObjects, order, session.batchOracle(), j.concurrency, ro)
+			r, err = core.LabelPartitionedParallelRun(pt, batchOracleFrom(oracle, batch), j.concurrency, ro)
 		} else {
-			r, err = core.LabelParallelRun(j.numObjects, order, session.batchOracle(), ro)
+			r, err = core.LabelParallelRun(numObjects, order, batchOracleFrom(oracle, batch), ro)
 		}
 		runErr = err
 		if r != nil {
@@ -582,9 +654,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		var r *core.TraceResult
 		var err error
 		if sharded {
-			r, err = core.LabelShardedOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+			r, err = core.LabelPartitionedOnPlatformRun(pt, platform, opts, ro)
 		} else {
-			r, err = core.LabelOnPlatformRun(j.numObjects, order, session.platform, opts, ro)
+			r, err = core.LabelOnPlatformRun(numObjects, order, platform, opts, ro)
 		}
 		runErr = err
 		if r != nil {
@@ -597,9 +669,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		var r *core.OneToOneResult
 		var err error
 		if sharded {
-			r, err = core.LabelShardedOneToOneRun(j.numObjects, order, session.singleOracle(), j.concurrency, ro)
+			r, err = core.LabelPartitionedOneToOneRun(pt, singleOracleFrom(oracle, batch), j.concurrency, ro)
 		} else {
-			r, err = core.LabelSequentialOneToOneRun(j.numObjects, order, session.singleOracle(), ro)
+			r, err = core.LabelSequentialOneToOneRun(numObjects, order, singleOracleFrom(oracle, batch), ro)
 		}
 		runErr = err
 		if r != nil {
@@ -607,7 +679,7 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			res.NumConstraintDeduced = r.NumConstraintDeduced
 		}
 	case strategyBudget:
-		r, err := core.LabelWithBudgetRun(j.numObjects, order, session.singleOracle(), j.strategy.budget, j.strategy.guessThreshold, ro)
+		r, err := core.LabelWithBudgetRun(numObjects, order, singleOracleFrom(oracle, batch), j.strategy.budget, j.strategy.guessThreshold, ro)
 		runErr = err
 		if r != nil {
 			res.fill(&r.Result)

@@ -16,14 +16,26 @@ import (
 //
 // Format (text, one record per line):
 //
-//	crowdjoin-journal v1
-//	objects <numObjects>
+//	crowdjoin-journal v2
+//	objects <initialObjects>
 //	m <a> <b>
 //	n <a> <b>
+//	r <k>
 //
 // where m/n is the matching/non-matching answer and a, b are object ids
 // (written a < b; read in either order). The objects line fingerprints the
-// universe size: resuming against a differently sized dataset is rejected.
+// initial universe size: resuming against a differently sized dataset is
+// rejected. An "r <k>" line (new in v2) records the arrival of k appended
+// records in a streaming session: it grows the running universe by k, so
+// answers later in the stream may reference the new ids while answers
+// before it cannot — the position of each arrival in the stream is part of
+// the fingerprint. On open, the session declares its own arrival history
+// and the journal's r entries are matched against it positionally; a
+// session that appended different batches (or none) is rejected rather
+// than replayed against the wrong records. v1 journals (no r entries,
+// "crowdjoin-journal v1" header) read unchanged; fresh journals are
+// written as v2.
+//
 // The journal stores ids, not record contents, so resuming against a
 // same-sized but edited or reordered dataset is undetectable and on the
 // caller — keep one journal per input. The format survives crashes
@@ -34,8 +46,12 @@ import (
 // permanent parse error, at worst (a numerically torn entry like "m 12 3"
 // from "m 12 34") a fabricated answer replayed as real.
 
-// journalHeader is the first line of every label journal.
-const journalHeader = "crowdjoin-journal v1"
+// journalHeader is the first line of every freshly written label journal;
+// journalHeaderV1 is the previous format's, still accepted on read.
+const (
+	journalHeader   = "crowdjoin-journal v2"
+	journalHeaderV1 = "crowdjoin-journal v1"
+)
 
 // pairKey is the canonical (low, high) object-id key of a pair.
 type pairKey struct{ a, b int32 }
@@ -56,8 +72,19 @@ func keyOf(a, b int32) pairKey {
 type journalState struct {
 	mu         sync.Mutex
 	answers    map[pairKey]Label
-	w          io.Writer
+	// w is the append side; nil puts the journal in memory-only mode —
+	// answers are cached and replayed across Runs of one session but
+	// nothing is persisted (streaming sessions without WithJournal use
+	// this so a mid-stream Run's answers are never re-bought).
+	w io.Writer
+	// numObjects is the initial universe size (the objects line); appended
+	// arrivals grow the universe beyond it.
 	numObjects int
+	// pendingArrivals holds session arrivals not yet present in the
+	// stream; the next append writes them (in order, before its entry) so
+	// answers about appended records always follow the r line that
+	// introduced them.
+	pendingArrivals []int
 	// needHeader: the stream held no (surviving) lines, so the first
 	// append writes the header line. needObjects: no objects fingerprint
 	// survived (fresh journal, or the line was torn away), so the first
@@ -93,27 +120,34 @@ type journalState struct {
 	written  int64     // total bytes successfully written to w
 }
 
+// newMemoryJournal returns a journal in memory-only mode: lookup, record,
+// and the replay counter work, but nothing is read or persisted.
+func newMemoryJournal(initialObjects int) *journalState {
+	j := &journalState{answers: make(map[pairKey]Label), numObjects: initialObjects}
+	j.flushed.L = &j.mu
+	return j
+}
+
 // openJournal reads every complete entry of rw and prepares the append
-// side. A mismatched objects line, or an entry referencing objects outside
-// [0, numObjects), is rejected: the journal belongs to a differently sized
-// dataset. (Same-sized content changes are invisible here; see the format
-// comment.)
-func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
+// side. initialObjects is the universe size before any append; arrivals is
+// the session's record-arrival history (the size of each appended batch,
+// in order; nil for non-streaming sessions). A mismatched objects line, an
+// r entry that does not match the session's arrival at the same position
+// (or exists at all in a non-streaming session), or an answer referencing
+// objects beyond the universe as of its position in the stream, is
+// rejected: the journal belongs to a different input. (Same-sized content
+// changes are invisible here; see the format comment.)
+func openJournal(rw io.ReadWriter, initialObjects int, arrivals []int) (*journalState, error) {
 	raw, err := io.ReadAll(rw)
 	if err != nil {
 		return nil, fmt.Errorf("crowdjoin: reading journal: %w", err)
 	}
-	j := &journalState{answers: make(map[pairKey]Label), w: rw, numObjects: numObjects}
+	j := &journalState{answers: make(map[pairKey]Label), w: rw, numObjects: initialObjects}
 	j.flushed.L = &j.mu
-	if len(raw) == 0 {
-		j.needHeader = true
-		j.needObjects = true
-		return j, nil
-	}
 	content := string(raw)
 	// A trailing fragment without '\n' is a torn final append: drop it and
 	// have the next append void it (see the format comment above).
-	if !strings.HasSuffix(content, "\n") {
+	if len(content) > 0 && !strings.HasSuffix(content, "\n") {
 		j.needVoid = true
 		if i := strings.LastIndexByte(content, '\n'); i >= 0 {
 			content = content[:i+1]
@@ -122,13 +156,15 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		}
 	}
 	sawHeader, sawObjects := false, false
+	universe := int64(initialObjects) // grows as r entries are consumed
+	consumed := 0                     // arrivals matched against r entries
 	for _, line := range strings.Split(strings.TrimSuffix(content, "\n"), "\n") {
 		if line == "" || strings.HasSuffix(line, "#") {
 			// Voided torn fragments (and blank lines) are not entries.
 			continue
 		}
 		if !sawHeader {
-			if line != journalHeader {
+			if line != journalHeader && line != journalHeaderV1 {
 				return nil, fmt.Errorf("crowdjoin: journal stream does not start with %q", journalHeader)
 			}
 			sawHeader = true
@@ -136,10 +172,25 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 2 && fields[0] == "objects" {
-			if fields[1] != strconv.Itoa(numObjects) {
-				return nil, fmt.Errorf("crowdjoin: journal was written for %s objects, this join has %d", fields[1], numObjects)
+			if fields[1] != strconv.Itoa(initialObjects) {
+				return nil, fmt.Errorf("crowdjoin: journal was written for %s objects, this join has %d", fields[1], initialObjects)
 			}
 			sawObjects = true
+			continue
+		}
+		if len(fields) == 2 && fields[0] == "r" {
+			k, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("crowdjoin: malformed journal entry %q", line)
+			}
+			if consumed >= len(arrivals) {
+				return nil, fmt.Errorf("crowdjoin: journal records an arrival of %d records this session has not appended", k)
+			}
+			if int(k) != arrivals[consumed] {
+				return nil, fmt.Errorf("crowdjoin: journal arrival %d has %d records, this session appended %d", consumed, k, arrivals[consumed])
+			}
+			universe += k
+			consumed++
 			continue
 		}
 		if len(fields) != 3 || (fields[0] != "m" && fields[0] != "n") {
@@ -150,8 +201,8 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		if errA != nil || errB != nil {
 			return nil, fmt.Errorf("crowdjoin: malformed journal entry %q", line)
 		}
-		if a < 0 || a >= int64(numObjects) || b < 0 || b >= int64(numObjects) || a == b {
-			return nil, fmt.Errorf("crowdjoin: journal entry %q outside the %d-object universe", line, numObjects)
+		if a < 0 || a >= universe || b < 0 || b >= universe || a == b {
+			return nil, fmt.Errorf("crowdjoin: journal entry %q outside the %d-object universe", line, universe)
 		}
 		l := NonMatching
 		if fields[0] == "m" {
@@ -173,6 +224,7 @@ func openJournal(rw io.ReadWriter, numObjects int) (*journalState, error) {
 		j.needHeader = true
 	}
 	j.needObjects = !sawObjects
+	j.pendingArrivals = append([]int(nil), arrivals[consumed:]...)
 	return j, nil
 }
 
@@ -199,6 +251,14 @@ func (j *journalState) replayedCount() int {
 	return j.replayed
 }
 
+// resetReplay zeroes the replay counter; a memory-mode journal reused
+// across Runs calls this so each Run reports its own replay count.
+func (j *journalState) resetReplay() {
+	j.mu.Lock()
+	j.replayed = 0
+	j.mu.Unlock()
+}
+
 // record appends one crowd answer. Invalid labels are not journaled (the
 // driver rejects them right after); a write failure is remembered and
 // reported once via onError so the session can stop buying unrecorded
@@ -223,6 +283,12 @@ func (j *journalState) record(p Pair, l Label) {
 		return
 	}
 	j.answers[k] = l
+	if j.w == nil {
+		// Memory-only mode: the answer is cached for replay, nothing is
+		// formatted or written.
+		j.mu.Unlock()
+		return
+	}
 	before := len(j.pending)
 	if j.needVoid {
 		j.pending = append(j.pending, "#\n"...)
@@ -239,6 +305,15 @@ func (j *journalState) record(p Pair, l Label) {
 		j.pending = append(j.pending, '\n')
 		j.needObjects = false
 	}
+	for _, arr := range j.pendingArrivals {
+		// Arrivals the stream has not seen yet go out before the entry, so
+		// an answer about appended records always follows the r line that
+		// introduced them.
+		j.pending = append(j.pending, "r "...)
+		j.pending = strconv.AppendInt(j.pending, int64(arr), 10)
+		j.pending = append(j.pending, '\n')
+	}
+	j.pendingArrivals = j.pendingArrivals[:0]
 	tag := byte('n')
 	if l == Matching {
 		tag = 'm'

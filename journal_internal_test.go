@@ -48,7 +48,7 @@ func TestJournalPlatformCompactsOnDrain(t *testing.T) {
 		io.Reader
 		io.Writer
 	}{strings.NewReader(journal.String()), &bytes.Buffer{}}
-	jrn, err := openJournal(rw, numObjects)
+	jrn, err := openJournal(rw, numObjects, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestJournalRecordConcurrent(t *testing.T) {
 	const perWorker = 200
 	numObjects := 2 * workers * perWorker
 	var buf bytes.Buffer
-	jrn, err := openJournal(&buf, numObjects)
+	jrn, err := openJournal(&buf, numObjects, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestJournalRecordConcurrent(t *testing.T) {
 	if !strings.Contains(content, fmt.Sprintf("objects %d\n", numObjects)) {
 		t.Fatalf("objects fingerprint missing:\n%.200s", content)
 	}
-	reopened, err := openJournal(bytes.NewBufferString(content), numObjects)
+	reopened, err := openJournal(bytes.NewBufferString(content), numObjects, nil)
 	if err != nil {
 		t.Fatalf("concurrently written journal does not reopen: %v", err)
 	}

@@ -337,7 +337,7 @@ func TestJournalRerunSameJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := strings.Count(string(raw), "crowdjoin-journal v1"); n != 1 {
+	if n := strings.Count(string(raw), "crowdjoin-journal v2"); n != 1 {
 		t.Errorf("journal holds %d headers after re-Run:\n%s", n, raw)
 	}
 
@@ -515,7 +515,7 @@ func TestJournalConcurrentShards(t *testing.T) {
 			t.Fatal(err)
 		}
 		content := journal.String()
-		if !strings.HasPrefix(content, "crowdjoin-journal v1\n") {
+		if !strings.HasPrefix(content, "crowdjoin-journal v2\n") {
 			t.Fatalf("trial %d: journal does not start with the header:\n%.120s", trial, content)
 		}
 		if !strings.HasSuffix(content, "\n") {

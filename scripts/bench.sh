@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Runs the labeling / deduction-core / world-enumeration /
-# candidate-generation benchmarks (the BenchmarkCandidates* family covers
-# the auto-routed default, the size-ordered positional prefix routes for
-# both weightings, and the full-index fallback) and writes BENCH_core.json
+# candidate-generation / streaming-append benchmarks (the
+# BenchmarkCandidates* family covers the auto-routed default, the
+# size-ordered positional prefix routes for both weightings, and the
+# full-index fallback; BenchmarkStreamingAppend tracks the Join.Append
+# marginal-cost criterion) and writes BENCH_core.json
 # (ns/op, B/op, allocs/op, and custom metrics per benchmark) so the perf
 # trajectory can be compared across PRs.
 #
@@ -10,8 +12,10 @@
 #        scripts/bench.sh --compare [count]  diff a fresh run against the
 #                                            committed BENCH_core.json
 #                                            (benchstat-style deltas; exits
-#                                            1 when a BenchmarkCandidates*
-#                                            bench regresses >10% ns/op)
+#                                            1 when a gated bench — the
+#                                            BenchmarkCandidates* family or
+#                                            BenchmarkStreamingAppend —
+#                                            regresses >10% ns/op)
 #   count  -count passed to `go test` (default 1; --compare benefits from
 #          2-3 — benchjson takes the best-of-count sample per side)
 set -eu
@@ -23,7 +27,7 @@ if [ "${1:-}" = "--compare" ]; then
 	shift
 fi
 COUNT="${1:-1}"
-PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates'
+PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates|BenchmarkStreamingAppend'
 
 if [ "$MODE" = compare ]; then
 	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |

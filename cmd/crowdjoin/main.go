@@ -140,7 +140,9 @@ func main() {
 		opts = append(opts, crowdjoin.WithStrategy(crowdjoin.BudgetStrategy(*budget, *guess)))
 	}
 	if *resume != "" {
-		f, err := os.OpenFile(*resume, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		// OpenJournalFile fsyncs the parent directory on create, so the
+		// journal survives a crash that follows immediately.
+		f, err := crowdjoin.OpenJournalFile(*resume)
 		if err != nil {
 			fatal(err)
 		}

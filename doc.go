@@ -52,6 +52,15 @@
 // answered pairs. The original free functions (LabelSequential and
 // friends) remain as deprecated, result-identical wrappers over Join.
 //
+// To run joins as a service rather than a library call, cmd/crowdjoind
+// wraps the session API in a multi-tenant HTTP daemon: jobs are submitted
+// as JSON specs, their HIT rounds are multiplexed across one crowd worker
+// pool, progress streams over SSE, every job journals to a data directory
+// so a restart resumes all in-flight jobs without re-asking the crowd, and
+// per-tenant budgets/rate limits meter the spend. See the cmd/crowdjoind
+// package docs for the HTTP API and DESIGN.md ("Join server") for the
+// architecture.
+//
 // # Deduction engine
 //
 // Every labeler funnels through internal/clustergraph.Graph, which must be

@@ -1,0 +1,206 @@
+// Join server: the crowdjoind HTTP service end to end, from the client's
+// side of the wire. An in-process server (the same internal/server engine
+// the crowdjoind binary runs) is stood up on a loopback listener; the demo
+// then speaks plain HTTP to it: submit a join job, follow its progress
+// over SSE, fetch the clusters — and run a second, streaming job whose
+// records arrive through the batch endpoint while the session is live.
+// Every job is journaled under the data directory; kill a real daemon at
+// any point and the restart resumes its jobs without re-buying answers.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"crowdjoin/internal/server"
+)
+
+type record struct {
+	Text   string `json:"text"`
+	Entity string `json:"entity"`
+}
+
+var catalog = []record{
+	{"apple ipad 2nd gen tablet 16gb black", "ipad2"},
+	{"apple ipad two tablet 16gb black", "ipad2"},
+	{"ipad 2 16 gb black tablet", "ipad2"},
+	{"sony kdl40 television lcd 40 inch", "kdl40"},
+	{"sony kdl40 lcd tv 40 inch black", "kdl40"},
+	{"dyson dc25 vacuum upright", "dc25"},
+	{"dyson dc25 upright vacuum cleaner", "dc25"},
+	{"kindle fire hd 7 inch tablet", "fire"},
+	{"amazon kindle fire hd tablet 7in", "fire"},
+}
+
+func main() {
+	dataDir, err := os.MkdirTemp("", "joinserver-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+
+	srv, err := server.New(server.Config{
+		DataDir: dataDir,
+		Workers: 4,
+		Latency: 2 * time.Millisecond, // pretend the crowd thinks
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("crowdjoind serving on %s (data %s)\n\n", ts.URL, dataDir)
+
+	// --- Job 1: a batch job, followed over SSE. ---------------------------
+	id := submit(ts.URL, map[string]any{
+		"tenant":    "demo",
+		"strategy":  "platform",
+		"threshold": 0.3,
+		"records":   catalog,
+	})
+	fmt.Printf("submitted job %s; following its event stream:\n", id)
+	followEvents(ts.URL, id)
+	printClusters(ts.URL, id)
+
+	// --- Job 2: a streaming job fed through the batch endpoint. -----------
+	id = submit(ts.URL, map[string]any{
+		"tenant":    "demo",
+		"streaming": true,
+		"records":   catalog[:3],
+	})
+	fmt.Printf("\nsubmitted streaming job %s; appending batches over HTTP:\n", id)
+	postJSON(ts.URL+"/jobs/"+id+"/batches", map[string]any{"records": catalog[3:7]})
+	fmt.Printf("  appended %d records\n", 4)
+	postJSON(ts.URL+"/jobs/"+id+"/batches", map[string]any{"records": catalog[7:], "final": true})
+	fmt.Printf("  appended %d records and finalized the stream\n", len(catalog[7:]))
+	waitDone(ts.URL, id)
+	printClusters(ts.URL, id)
+
+	// --- The meter ran the whole time. ------------------------------------
+	resp, err := http.Get(ts.URL + "/tenants/demo/usage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var usage server.Usage
+	if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntenant %q spent %d crowd questions across %d jobs (%d replayed free)\n",
+		usage.Tenant, usage.QuestionsAsked, usage.TotalJobs, usage.QuestionsReplayed)
+}
+
+// submit POSTs a job spec and returns the new job's id.
+func submit(base string, spec map[string]any) string {
+	var created struct {
+		ID string `json:"id"`
+	}
+	data := postJSON(base+"/jobs", spec)
+	if err := json.Unmarshal(data, &created); err != nil {
+		log.Fatal(err)
+	}
+	return created.ID
+}
+
+// followEvents streams GET /jobs/{id}/events until the job's terminal
+// state event closes the stream, summarizing what went by.
+func followEvents(base, id string) {
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	counts := map[string]int{}
+	var finalState string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var e server.JobEvent
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			log.Fatal(err)
+		}
+		counts[e.Kind]++
+		switch e.Kind {
+		case "round-published":
+			fmt.Printf("  [sse] round %d published %d pairs\n", e.Round, e.Size)
+		case "state":
+			finalState = e.State
+		}
+	}
+	fmt.Printf("  [sse] stream closed: %d crowdsourced, %d deduced, job %s\n",
+		counts["pair-crowdsourced"], counts["pair-deduced"], finalState)
+}
+
+// waitDone polls until the job completes.
+func waitDone(base, id string) {
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "running":
+			time.Sleep(5 * time.Millisecond)
+		default:
+			log.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// printClusters fetches the final clusters in plain-text format.
+func printClusters(base, id string) {
+	resp, err := http.Get(base + "/jobs/" + id + "/result?format=text")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("  clusters:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Printf("    %s\n", sc.Text())
+	}
+}
+
+// postJSON POSTs a JSON body and returns the response, failing on non-2xx.
+func postJSON(url string, body any) []byte {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}

@@ -67,6 +67,12 @@ func LabelWithBudgetRun(numObjects int, order []Pair, oracle Oracle, budget int,
 		if res.NumCrowdsourced < budget {
 			l := oracle.Label(p)
 			if err := checkAnswer(p, l); err != nil {
+				// As in the sequential driver: a cancelled session's oracle
+				// wrapper may have no real answer; keep the partial result.
+				if cerr := ro.err(); cerr != nil {
+					deduceRemaining(g, order[i:], &res.Result, ro)
+					return res, cerr
+				}
 				return nil, err
 			}
 			if err := g.Insert(p.A, p.B, l == Matching); err != nil {

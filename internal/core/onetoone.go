@@ -84,6 +84,14 @@ func LabelSequentialOneToOneRun(numObjects int, order []Pair, oracle Oracle, ro 
 		}
 		l := oracle.Label(p)
 		if err := checkAnswer(p, l); err != nil {
+			// As in the sequential driver: a cancelled session's oracle
+			// wrapper may have no real answer; keep the partial result.
+			if cerr := ro.err(); cerr != nil {
+				for _, q := range order[i:] {
+					free(q)
+				}
+				return res, cerr
+			}
 			return nil, err
 		}
 		if err := g.Insert(p.A, p.B, l == Matching); err != nil {

@@ -140,10 +140,21 @@ func LabelParallelRun(numObjects int, order []Pair, oracle BatchOracle, ro RunOp
 		ro.emitRound(len(res.RoundSizes), len(batch))
 		answers := oracle.LabelBatch(batch)
 		if len(answers) != len(batch) {
+			// A context-cancelling oracle wrapper may abandon a round
+			// mid-batch after cancelling the session; the cancellation
+			// contract applies, not the short-answer error.
+			if cerr := ro.err(); cerr != nil {
+				deduceRemaining(labeled, order, &res.Result, ro)
+				return res, cerr
+			}
 			return nil, fmt.Errorf("core: batch oracle returned %d answers for %d pairs", len(answers), len(batch))
 		}
 		for i, p := range batch {
 			if err := checkAnswer(p, answers[i]); err != nil {
+				if cerr := ro.err(); cerr != nil {
+					deduceRemaining(labeled, order, &res.Result, ro)
+					return res, cerr
+				}
 				return nil, err
 			}
 			l := answers[i]

@@ -159,14 +159,32 @@ func LabelOnPlatformRun(numObjects int, order []Pair, pf Platform, opts Platform
 			// case publish is a no-op and the loop exits below.
 			publish()
 			if pf.Available() == 0 {
+				// A context-cancelling platform wrapper (rate limiter,
+				// budget guard) may cancel the session and suppress the
+				// publish it was handed; that is a cancellation, not a
+				// drained platform.
+				if err := ro.err(); err != nil {
+					deduceRemaining(labeled, order, &res.Result, ro)
+					return res, err
+				}
 				return nil, fmt.Errorf("core: platform drained with %d pairs unlabeled", unlabeled)
 			}
 		}
 		p, l, ok := pf.NextLabel()
 		if !ok {
+			// A platform wrapper may wake a blocked NextLabel with no answer
+			// when the session is cancelled; keep the partial result.
+			if err := ro.err(); err != nil {
+				deduceRemaining(labeled, order, &res.Result, ro)
+				return res, err
+			}
 			return nil, fmt.Errorf("core: platform returned no label with %d pairs available", pf.Available())
 		}
 		if err := checkAnswer(p, l); err != nil {
+			if cerr := ro.err(); cerr != nil {
+				deduceRemaining(labeled, order, &res.Result, ro)
+				return res, cerr
+			}
 			return nil, err
 		}
 		if res.Labels[p.ID] != Unlabeled {

@@ -42,6 +42,14 @@ func LabelSequentialRun(numObjects int, order []Pair, oracle Oracle, ro RunOpts)
 		default:
 			l := oracle.Label(p)
 			if err := checkAnswer(p, l); err != nil {
+				// A context-cancelling oracle wrapper (rate limiter, budget
+				// guard) cancels the session and then has no real answer to
+				// return; the cancellation contract applies, not the
+				// invalid-answer error.
+				if cerr := ro.err(); cerr != nil {
+					deduceRemaining(g, order[i:], res, ro)
+					return res, cerr
+				}
 				return nil, err
 			}
 			// An undeduced pair joins two clusters with no edge between

@@ -160,14 +160,40 @@ func LabelPartitionedOnPlatformRun(pt *Partition, pf Platform, opts PlatformOpti
 				}
 			}
 			if pf.Available() == 0 {
+				// A context-cancelling platform wrapper may cancel the
+				// session and suppress the publishes it was handed; that is
+				// a cancellation, not a stalled scan.
+				if err := ro.err(); err != nil {
+					for _, st := range states {
+						deduceRemaining(st.labeled, st.s.Order, &st.res, st.ro)
+					}
+					finish()
+					return res, err
+				}
 				return nil, fmt.Errorf("core: platform drained with %d pairs unlabeled", unlabeled)
 			}
 		}
 		p, l, ok := pf.NextLabel()
 		if !ok {
+			// A platform wrapper may wake a blocked NextLabel with no answer
+			// when the session is cancelled; keep the partial result.
+			if err := ro.err(); err != nil {
+				for _, st := range states {
+					deduceRemaining(st.labeled, st.s.Order, &st.res, st.ro)
+				}
+				finish()
+				return res, err
+			}
 			return nil, fmt.Errorf("core: platform returned no label with %d pairs available", pf.Available())
 		}
 		if err := checkAnswer(p, l); err != nil {
+			if cerr := ro.err(); cerr != nil {
+				for _, st := range states {
+					deduceRemaining(st.labeled, st.s.Order, &st.res, st.ro)
+				}
+				finish()
+				return res, cerr
+			}
 			return nil, err
 		}
 		if p.ID < 0 || p.ID >= numPairs {

@@ -1,0 +1,126 @@
+package server
+
+import "sync"
+
+// JobEvent is one entry of a job's event stream, delivered over SSE
+// (GET /jobs/{id}/events) as `id: <seq>`, `event: <kind>`, and the JSON
+// body in `data:`. Kinds are the library's progress-event names
+// (pair-crowdsourced, pair-deduced, pair-guessed, pair-constraint-deduced,
+// round-published, conflict-overridden, record-appended,
+// components-merged) plus the server lifecycle kinds "state" (State and
+// optionally Error set) and "replay" (Size journal answers restored, after
+// a resume or a streaming re-run).
+type JobEvent struct {
+	Seq  int64  `json:"seq"`
+	Kind string `json:"kind"`
+	// Pair events: the pair's endpoints (object ids) and applied label.
+	Pair  *EventPair `json:"pair,omitempty"`
+	Label string     `json:"label,omitempty"`
+	// round-published / record-appended: ordinal and size.
+	Round int `json:"round,omitempty"`
+	Size  int `json:"size,omitempty"`
+	// components-merged / sharded runs: component ids.
+	Component int `json:"component,omitempty"`
+	Absorbed  int `json:"absorbed,omitempty"`
+	// "state" events.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// EventPair is the pair payload of a pair event.
+type EventPair struct {
+	A int32 `json:"a"`
+	B int32 `json:"b"`
+}
+
+// hubBuffer is how much history a job's event hub retains for late or
+// reconnecting subscribers (SSE Last-Event-ID replay).
+const hubBuffer = 8192
+
+// eventHub fans a job's events out to SSE subscribers. Events are
+// sequence-numbered; a ring of the last hubBuffer events serves replays. A
+// subscriber that falls more than its channel buffer behind is dropped
+// (its channel is closed) rather than allowed to stall the labeling loop —
+// publish never blocks.
+type eventHub struct {
+	mu     sync.Mutex
+	buf    []JobEvent // ring, dense seq range [next-len(buf), next)
+	next   int64
+	subs   map[chan JobEvent]struct{}
+	closed bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[chan JobEvent]struct{})}
+}
+
+// publish assigns the event its sequence number and delivers it.
+func (h *eventHub) publish(e JobEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	e.Seq = h.next
+	h.next++
+	if len(h.buf) == hubBuffer {
+		copy(h.buf, h.buf[1:])
+		h.buf = h.buf[:hubBuffer-1]
+	}
+	h.buf = append(h.buf, e)
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the retained events with seq >= after+1 and a live
+// channel for what follows. On a closed hub (terminal job) the channel
+// comes back already closed: the caller drains the replay and is done.
+func (h *eventHub) subscribe(after int64) ([]JobEvent, chan JobEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var replay []JobEvent
+	for i, e := range h.buf {
+		if e.Seq > after {
+			replay = append([]JobEvent{}, h.buf[i:]...)
+			break
+		}
+	}
+	ch := make(chan JobEvent, 256)
+	if h.closed {
+		close(ch)
+	} else {
+		h.subs[ch] = struct{}{}
+	}
+	return replay, ch
+}
+
+// unsubscribe detaches a live subscriber (client went away).
+func (h *eventHub) unsubscribe(ch chan JobEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// close ends the stream: subscribers' channels are closed after all
+// published events; later subscribers still get the retained replay.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

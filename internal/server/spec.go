@@ -1,0 +1,262 @@
+// Package server implements crowdjoind: a multi-tenant crowdsourced-join
+// service over the crowdjoin library. It accepts join jobs over HTTP (records
+// inline or streamed in batches), runs many Join sessions concurrently
+// against one shared crowd backend via a cross-job HIT scheduler, streams
+// typed progress events to clients over SSE, journals every session under a
+// server data directory so a crashed or redeployed server resumes all
+// in-flight jobs with zero re-crowdsourced pairs, and enforces per-tenant
+// concurrency, budget, and rate limits on crowd-question spend.
+//
+// See DESIGN.md ("Join server") for the architecture and cmd/crowdjoind for
+// the HTTP API with curl examples.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crowdjoin"
+)
+
+// Record is one input record of a join job: the text the matcher scores,
+// plus the ground-truth entity key the server's simulated crowd answers
+// from (two records match iff their entity keys are equal — the same model
+// as cmd/crowdjoin's -crowd auto). It unmarshals from either a JSON object
+// {"text": ..., "entity": ...} or a bare string "text" (entity defaults to
+// the text itself, i.e. exact duplicates match).
+type Record struct {
+	Text   string `json:"text"`
+	Entity string `json:"entity"`
+}
+
+// UnmarshalJSON implements json.Unmarshaler; see the type comment.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		r.Text, r.Entity = s, s
+		return nil
+	}
+	type plain Record
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*r = Record(p)
+	if r.Entity == "" {
+		r.Entity = r.Text
+	}
+	return nil
+}
+
+// JobSpec is the body of POST /jobs: one join job's input and
+// configuration. The zero values of the optional fields select the
+// defaults noted per field.
+type JobSpec struct {
+	// Tenant is the accounting principal the job runs under (default
+	// "default"). Concurrent-job limits, question budgets, and rate limits
+	// apply per tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Records is the corpus to deduplicate; with RecordsB set, the join is
+	// bipartite (Records is source A, pairs span the sources).
+	Records  []Record `json:"records"`
+	RecordsB []Record `json:"records_b,omitempty"`
+	// Threshold is the matcher's candidate threshold in (0, 1] (default
+	// 0.3); IDF weights token overlap by inverse document frequency.
+	Threshold float64 `json:"threshold,omitempty"`
+	IDF       bool    `json:"idf,omitempty"`
+	// Strategy selects the labeling driver: "platform" (default — rounds of
+	// HITs multiplexed onto the server's shared crowd via the cross-job
+	// scheduler), "sequential", "parallel", "onetoone", or "budget".
+	Strategy string `json:"strategy,omitempty"`
+	// Budget and Guess configure the "budget" strategy: at most Budget
+	// pairs are crowdsourced, then undeducible pairs fall back to the
+	// machine guess at likelihood >= Guess (default 0.5).
+	Budget int      `json:"budget,omitempty"`
+	Guess  *float64 `json:"guess,omitempty"`
+	// Concurrency shards the job by connected component of its candidate
+	// graph: up to this many components consult the crowd at once (default
+	// 1; rejected for the budget strategy, whose budget is global).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Instant applies the instant-decision optimization on the platform
+	// strategy: newly mandatory pairs are republished after every answer
+	// instead of when the job's round drains.
+	Instant bool `json:"instant,omitempty"`
+	// Order is the labeling order: "expected" (likelihood descending, the
+	// default) or "given" (candidate-generation order).
+	Order string `json:"order,omitempty"`
+	// Streaming marks the job as appendable: after submission, POST
+	// /jobs/{id}/batches appends record batches mid-session (answers
+	// already bought are never re-asked) and a batch with "final": true
+	// completes the job.
+	Streaming bool `json:"streaming,omitempty"`
+}
+
+// Strategy names accepted in JobSpec.Strategy.
+const (
+	StrategyPlatform   = "platform"
+	StrategySequential = "sequential"
+	StrategyParallel   = "parallel"
+	StrategyOneToOne   = "onetoone"
+	StrategyBudget     = "budget"
+)
+
+// normalize applies defaults and validates the spec.
+func (s *JobSpec) normalize() error {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Threshold == 0 {
+		s.Threshold = 0.3
+	}
+	if s.Threshold <= 0 || s.Threshold > 1 {
+		return fmt.Errorf("threshold %v outside (0,1]", s.Threshold)
+	}
+	if s.Strategy == "" {
+		s.Strategy = StrategyPlatform
+	}
+	switch s.Strategy {
+	case StrategyPlatform, StrategySequential, StrategyParallel, StrategyOneToOne:
+		if s.Budget != 0 {
+			return fmt.Errorf("budget is only valid with the %q strategy", StrategyBudget)
+		}
+	case StrategyBudget:
+		if s.Budget < 0 {
+			return fmt.Errorf("negative budget %d", s.Budget)
+		}
+	default:
+		return fmt.Errorf("unknown strategy %q", s.Strategy)
+	}
+	if s.Guess == nil {
+		g := 0.5
+		s.Guess = &g
+	}
+	if *s.Guess < 0 || *s.Guess > 1 {
+		return fmt.Errorf("guess %v outside [0,1]", *s.Guess)
+	}
+	if s.Concurrency == 0 {
+		s.Concurrency = 1
+	}
+	if s.Concurrency < 1 {
+		return fmt.Errorf("concurrency %d below 1", s.Concurrency)
+	}
+	if s.Concurrency > 1 && s.Strategy == StrategyBudget {
+		return fmt.Errorf("concurrency > 1 is incompatible with the budget strategy")
+	}
+	if s.Instant && s.Strategy != StrategyPlatform {
+		return fmt.Errorf("instant is only valid with the %q strategy", StrategyPlatform)
+	}
+	switch s.Order {
+	case "":
+		s.Order = "expected"
+	case "expected", "given":
+	default:
+		return fmt.Errorf("unknown order %q (want \"expected\" or \"given\")", s.Order)
+	}
+	if s.Streaming && len(s.RecordsB) > 0 {
+		// Join.AppendAcross exists, but the batch endpoint keeps the
+		// streaming surface unipartite like cmd/crowdjoin -stream.
+		return fmt.Errorf("streaming jobs are unipartite; records_b is not supported")
+	}
+	if len(s.Records)+len(s.RecordsB) == 0 && !s.Streaming {
+		return fmt.Errorf("no records")
+	}
+	if err := checkRecords(s.Records); err != nil {
+		return err
+	}
+	return checkRecords(s.RecordsB)
+}
+
+// checkRecords rejects records the simulated crowd could not answer about.
+func checkRecords(rs []Record) error {
+	for i, r := range rs {
+		if r.Text == "" {
+			return fmt.Errorf("record %d has no text", i)
+		}
+		if r.Entity == "" {
+			return fmt.Errorf("record %d has no entity key (the server's crowd answers from entity keys)", i)
+		}
+	}
+	return nil
+}
+
+// bipartite reports whether the job joins two sources.
+func (s *JobSpec) bipartite() bool { return len(s.RecordsB) > 0 }
+
+// texts returns the record texts per source.
+func (s *JobSpec) texts() (a, b []string) {
+	a = make([]string, len(s.Records))
+	for i, r := range s.Records {
+		a[i] = r.Text
+	}
+	if s.bipartite() {
+		b = make([]string, len(s.RecordsB))
+		for i, r := range s.RecordsB {
+			b[i] = r.Text
+		}
+	}
+	return a, b
+}
+
+// strategy maps the spec onto the library Strategy.
+func (s *JobSpec) strategy() crowdjoin.Strategy {
+	switch s.Strategy {
+	case StrategySequential:
+		return crowdjoin.SequentialStrategy
+	case StrategyParallel:
+		return crowdjoin.ParallelStrategy
+	case StrategyOneToOne:
+		return crowdjoin.OneToOneStrategy
+	case StrategyBudget:
+		return crowdjoin.BudgetStrategy(s.Budget, *s.Guess)
+	default:
+		return crowdjoin.PlatformStrategy
+	}
+}
+
+// entities is a job's growable ground-truth table: entity keys by object
+// id, extended under its lock as streaming batches arrive. The crowd
+// workers read it concurrently with appends.
+type entities struct {
+	mu   chan struct{} // 1-buffered mutex; avoids importing sync for one field
+	keys []string
+}
+
+func newEntities(spec *JobSpec) *entities {
+	e := &entities{mu: make(chan struct{}, 1)}
+	for _, r := range spec.Records {
+		e.keys = append(e.keys, r.Entity)
+	}
+	for _, r := range spec.RecordsB {
+		e.keys = append(e.keys, r.Entity)
+	}
+	return e
+}
+
+func (e *entities) extend(rs []Record) {
+	e.mu <- struct{}{}
+	for _, r := range rs {
+		e.keys = append(e.keys, r.Entity)
+	}
+	<-e.mu
+}
+
+// match answers one pair from the truth table.
+func (e *entities) match(a, b int32) bool {
+	e.mu <- struct{}{}
+	ok := int(a) < len(e.keys) && int(b) < len(e.keys) && e.keys[a] == e.keys[b]
+	<-e.mu
+	return ok
+}
+
+// oracle adapts the table to the library Oracle.
+func (e *entities) oracle() crowdjoin.Oracle {
+	return crowdjoin.OracleFunc(func(p crowdjoin.Pair) crowdjoin.Label {
+		if e.match(p.A, p.B) {
+			return crowdjoin.Matching
+		}
+		return crowdjoin.NonMatching
+	})
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors the tenant accounting layer hands back to jobs and handlers.
+var (
+	// ErrBudgetExhausted cancels a job whose next HIT round would take its
+	// tenant over the configured question budget. The job ends with a valid
+	// partial result; everything bought so far is journaled, so a restart
+	// under a raised budget resumes it without re-buying a single answer.
+	ErrBudgetExhausted = errors.New("server: tenant question budget exhausted")
+	// ErrTooManyJobs rejects a submission that would exceed the tenant's
+	// concurrent-job limit (HTTP 429).
+	ErrTooManyJobs = errors.New("server: tenant concurrent-job limit reached")
+)
+
+// TenantLimits bounds one tenant's crowd spend. Zero values mean
+// unlimited.
+type TenantLimits struct {
+	// MaxActiveJobs caps jobs running at once.
+	MaxActiveJobs int `json:"max_active_jobs,omitempty"`
+	// QuestionBudget caps crowd questions across the tenant's lifetime
+	// (journal replays are free — they consult no crowd).
+	QuestionBudget int `json:"question_budget,omitempty"`
+	// QuestionsPerSec refills the tenant's token bucket: the sustained
+	// crowd-question rate. Burst is the bucket size (default: one second's
+	// worth, at least 1). A publish larger than the burst drives the bucket
+	// negative and later publishes wait for it to recover, so the long-run
+	// rate holds without deadlocking big rounds.
+	QuestionsPerSec float64 `json:"questions_per_sec,omitempty"`
+	Burst           int     `json:"burst,omitempty"`
+}
+
+// Usage is one tenant's accounting snapshot (GET /tenants/{id}/usage).
+type Usage struct {
+	Tenant         string       `json:"tenant"`
+	ActiveJobs     int          `json:"active_jobs"`
+	TotalJobs      int          `json:"total_jobs"`
+	QuestionsAsked int          `json:"questions_asked"`
+	// QuestionsReplayed counts crowd answers served from job journals —
+	// questions that cost nothing because an earlier run already paid for
+	// them.
+	QuestionsReplayed int          `json:"questions_replayed"`
+	BudgetRemaining   int          `json:"budget_remaining"` // -1 when unlimited
+	Limits            TenantLimits `json:"limits"`
+}
+
+// accounts tracks every tenant's spend and enforces TenantLimits.
+type accounts struct {
+	defaults  TenantLimits
+	overrides map[string]TenantLimits
+
+	mu sync.Mutex
+	m  map[string]*tenantAcct
+
+	now   func() time.Time               // test hook
+	sleep func(context.Context, time.Duration) error // test hook
+}
+
+type tenantAcct struct {
+	limits   TenantLimits
+	active   int
+	total    int
+	asked    int
+	replayed int
+	tokens   float64 // may go negative; see TenantLimits.QuestionsPerSec
+	last     time.Time
+}
+
+func newAccounts(defaults TenantLimits, overrides map[string]TenantLimits) *accounts {
+	return &accounts{
+		defaults:  defaults,
+		overrides: overrides,
+		m:         make(map[string]*tenantAcct),
+		now:       time.Now,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+}
+
+// acct returns the tenant's record, creating it on first sight. Callers
+// hold a.mu.
+func (a *accounts) acct(tenant string) *tenantAcct {
+	t := a.m[tenant]
+	if t == nil {
+		lim, ok := a.overrides[tenant]
+		if !ok {
+			lim = a.defaults
+		}
+		t = &tenantAcct{limits: lim, tokens: float64(burst(lim)), last: a.now()}
+		a.m[tenant] = t
+	}
+	return t
+}
+
+func burst(lim TenantLimits) int {
+	if lim.QuestionsPerSec == 0 {
+		return 0
+	}
+	if lim.Burst > 0 {
+		return lim.Burst
+	}
+	if b := int(lim.QuestionsPerSec); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// admit counts a job against the tenant's concurrency limit.
+func (a *accounts) admit(tenant string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.acct(tenant)
+	if t.limits.MaxActiveJobs > 0 && t.active >= t.limits.MaxActiveJobs {
+		return fmt.Errorf("%w (%d active)", ErrTooManyJobs, t.active)
+	}
+	t.active++
+	t.total++
+	return nil
+}
+
+// adopt counts a resumed job without applying the admission limit: it was
+// admitted before the restart.
+func (a *accounts) adopt(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.acct(tenant)
+	t.active++
+	t.total++
+}
+
+// release returns a finished job's slot.
+func (a *accounts) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.acct(tenant).active--
+}
+
+// reserve charges the tenant for n crowd questions, blocking on the rate
+// limiter until the tokens are there (or ctx is cancelled). It returns
+// ErrBudgetExhausted when the charge would exceed the question budget.
+// Journal replays never come through here.
+func (a *accounts) reserve(ctx context.Context, tenant string, n int) error {
+	for {
+		a.mu.Lock()
+		t := a.acct(tenant)
+		if t.limits.QuestionBudget > 0 && t.asked+n > t.limits.QuestionBudget {
+			asked := t.asked
+			a.mu.Unlock()
+			return fmt.Errorf("%w: %d asked + %d requested > budget %d (tenant %q)",
+				ErrBudgetExhausted, asked, n, t.limits.QuestionBudget, tenant)
+		}
+		rate := t.limits.QuestionsPerSec
+		if rate == 0 {
+			t.asked += n
+			a.mu.Unlock()
+			return nil
+		}
+		now := a.now()
+		t.tokens += rate * now.Sub(t.last).Seconds()
+		t.last = now
+		if max := float64(burst(t.limits)); t.tokens > max {
+			t.tokens = max
+		}
+		if t.tokens > 0 {
+			// Debt model: charge the whole publish now (the bucket may go
+			// negative) so a round larger than the burst is never stuck.
+			t.tokens -= float64(n)
+			t.asked += n
+			a.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - t.tokens) / rate * float64(time.Second))
+		a.mu.Unlock()
+		if err := a.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// noteReplayed records journal-served answers for the usage report.
+func (a *accounts) noteReplayed(tenant string, n int) {
+	if n == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.acct(tenant).replayed += n
+}
+
+// usage snapshots one tenant.
+func (a *accounts) usage(tenant string) Usage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.acct(tenant)
+	u := Usage{
+		Tenant:            tenant,
+		ActiveJobs:        t.active,
+		TotalJobs:         t.total,
+		QuestionsAsked:    t.asked,
+		QuestionsReplayed: t.replayed,
+		BudgetRemaining:   -1,
+		Limits:            t.limits,
+	}
+	if t.limits.QuestionBudget > 0 {
+		u.BudgetRemaining = t.limits.QuestionBudget - t.asked
+		if u.BudgetRemaining < 0 {
+			u.BudgetRemaining = 0
+		}
+	}
+	return u
+}

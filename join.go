@@ -7,9 +7,18 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"crowdjoin/internal/core"
 )
+
+// ErrRunInProgress is returned by Join.Run when another Run is still
+// executing on the same session. Two concurrent Runs would race on the
+// journal's read side and double-consult the crowd; long-lived callers (a
+// join server running one goroutine per job) depend on this being a typed
+// error rather than silent corruption. Sequential re-Runs remain supported
+// — streaming sessions Run after every Append.
+var ErrRunInProgress = errors.New("crowdjoin: Run already in progress on this session")
 
 // Progress events. A Join configured with WithProgress receives one Event
 // per labeling step, synchronously from the labeling loop.
@@ -126,7 +135,9 @@ func (s Strategy) String() string {
 //	)
 //	res, err := j.Run(ctx)
 //
-// A Join may be Run more than once. Without a journal, Run holds no
+// A Join may be Run more than once, but not concurrently: a Run invoked
+// while another Run is still executing on the same session returns
+// ErrRunInProgress. Without a journal, Run holds no
 // session state at all. With a journal, each Run consumes the stream's
 // read side: a re-Run rewinds it when the stream is an io.Seeker (e.g. an
 // *os.File) and re-reads the accumulated entries; on a non-seekable
@@ -171,6 +182,11 @@ type Join struct {
 	streamMu sync.Mutex
 	stream   *streamState
 	mem      *journalState
+
+	// running guards Run against concurrent invocation on one session (see
+	// ErrRunInProgress). Append is safe concurrently with Run and is not
+	// gated by it.
+	running atomic.Bool
 
 	err error // first configuration error
 }
@@ -511,6 +527,10 @@ func (j *Join) orderAndShard(numObjects int, pairs []Pair, st *streamState) ([]P
 // together with ctx's error. Any other error returns a nil result, except
 // a journal write failure, which also carries the partial result.
 func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
+	if !j.running.CompareAndSwap(false, true) {
+		return nil, ErrRunInProgress
+	}
+	defer j.running.Store(false)
 	if ctx == nil {
 		ctx = context.Background()
 	}

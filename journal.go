@@ -3,6 +3,8 @@ package crowdjoin
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +54,44 @@ const (
 	journalHeader   = "crowdjoin-journal v2"
 	journalHeaderV1 = "crowdjoin-journal v1"
 )
+
+// OpenJournalFile opens (creating if necessary) a label journal at path,
+// ready for WithJournal: O_CREATE|O_RDWR|O_APPEND, so appends always land
+// at the end and a re-opened journal replays from the start. When the call
+// creates the file, the parent directory is fsynced before returning —
+// without that, a crash right after journal creation can lose the
+// directory entry itself, and with it every answer the session goes on to
+// record; a job submitted to a join server must survive a crash
+// immediately after submission. Appends are flushed by the OS as usual
+// (the journal layer confirms each answer only once written; it does not
+// fsync per answer).
+func OpenJournalFile(path string) (*os.File, error) {
+	// O_EXCL first so "did we create it?" is race-free; an existing file is
+	// then opened without O_CREATE.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR|os.O_APPEND, 0o644)
+	switch {
+	case err == nil:
+		if serr := syncDir(filepath.Dir(path)); serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("crowdjoin: syncing journal directory: %w", serr)
+		}
+		return f, nil
+	case os.IsExist(err):
+		return os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	default:
+		return nil, err
+	}
+}
+
+// syncDir fsyncs a directory so a newly created entry in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
 
 // pairKey is the canonical (low, high) object-id key of a pair.
 type pairKey struct{ a, b int32 }

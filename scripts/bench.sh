@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Runs the labeling / deduction-core / world-enumeration /
-# candidate-generation / streaming-append benchmarks (the
+# candidate-generation / streaming-append / join-server benchmarks (the
 # BenchmarkCandidates* family covers the auto-routed default, the
 # size-ordered positional prefix routes for both weightings, and the
 # full-index fallback; BenchmarkStreamingAppend tracks the Join.Append
-# marginal-cost criterion) and writes BENCH_core.json
+# marginal-cost criterion; BenchmarkServerThroughput tracks the join
+# server's cross-job HIT multiplexing, J concurrent jobs vs sequential)
+# and writes BENCH_core.json
 # (ns/op, B/op, allocs/op, and custom metrics per benchmark) so the perf
 # trajectory can be compared across PRs.
 #
@@ -27,7 +29,7 @@ if [ "${1:-}" = "--compare" ]; then
 	shift
 fi
 COUNT="${1:-1}"
-PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates|BenchmarkStreamingAppend'
+PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates|BenchmarkStreamingAppend|BenchmarkServerThroughput'
 
 if [ "$MODE" = compare ]; then
 	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |

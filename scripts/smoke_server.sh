@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# End-to-end smoke for the crowdjoind join server: builds the daemon,
+# starts it on a loopback port with a temp data dir, submits a join job
+# over plain HTTP (curl, no client library), polls it to completion,
+# fetches the plain-text clusters, and diffs them against the same join
+# run through the library CLI (cmd/crowdjoin -crowd auto). The cluster
+# output is deterministic — ordered by smallest member regardless of
+# labeling strategy — so the two paths must agree byte for byte.
+#
+# Usage: scripts/smoke_server.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# The corpus: one record per line, with a parallel truth file assigning an
+# entity key per record — exactly what cmd/crowdjoin -crowd auto consumes.
+cat >"$TMP/records.txt" <<'EOF'
+apple ipad 2nd gen tablet 16gb black
+apple ipad two tablet 16gb black
+ipad 2 16 gb black tablet
+sony kdl40 television lcd 40 inch
+sony kdl40 lcd tv 40 inch black
+dyson dc25 vacuum upright
+dyson dc25 upright vacuum cleaner
+kindle fire hd 7 inch tablet
+amazon kindle fire hd tablet 7in
+EOF
+cat >"$TMP/truth.txt" <<'EOF'
+ipad2
+ipad2
+ipad2
+kdl40
+kdl40
+dc25
+dc25
+fire
+fire
+EOF
+
+# The same corpus as a crowdjoind job spec: records carry their entity key
+# inline, which the daemon's simulated crowd answers from.
+{
+	printf '{"records":['
+	paste "$TMP/truth.txt" "$TMP/records.txt" | awk -F'\t' '
+		NR > 1 { printf "," }
+		{ printf "{\"entity\":\"%s\",\"text\":\"%s\"}", $1, $2 }'
+	printf ']}'
+} >"$TMP/spec.json"
+
+echo "building crowdjoind" >&2
+go build -o "$TMP/crowdjoind" ./cmd/crowdjoind
+
+"$TMP/crowdjoind" -addr 127.0.0.1:0 -data "$TMP/data" -latency 1ms \
+	>"$TMP/daemon.log" 2>&1 &
+PID=$!
+
+# The daemon logs "serving on <addr>" once the listener is bound; with
+# -addr :0 that line carries the kernel-assigned port.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$TMP/daemon.log" | head -n 1)
+	[ -n "$ADDR" ] && break
+	kill -0 "$PID" 2>/dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "crowdjoind did not start:" >&2
+	cat "$TMP/daemon.log" >&2
+	exit 1
+fi
+BASE="http://$ADDR"
+echo "daemon up at $BASE" >&2
+
+ID=$(curl -sSf -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$TMP/spec.json" "$BASE/jobs" |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$ID" ]; then
+	echo "job submission returned no id" >&2
+	exit 1
+fi
+echo "submitted job $ID" >&2
+
+STATE=
+i=0
+while [ $i -lt 300 ]; do
+	STATE=$(curl -sSf "$BASE/jobs/$ID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	[ "$STATE" = done ] && break
+	if [ "$STATE" != running ]; then
+		echo "job $ID ended in state '$STATE'" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ "$STATE" != done ]; then
+	echo "job $ID still running after 30s" >&2
+	exit 1
+fi
+echo "job $ID done" >&2
+
+curl -sSf "$BASE/jobs/$ID/result?format=text" >"$TMP/server_clusters.txt"
+
+# The reference: the same join through the library CLI and its simulated
+# crowd. Clusters are ordered by smallest member on both paths, so any
+# divergence is a real correctness bug, not an ordering artifact.
+go run ./cmd/crowdjoin -a "$TMP/records.txt" -truth "$TMP/truth.txt" \
+	-crowd auto >"$TMP/cli_clusters.txt" 2>/dev/null
+
+if ! diff -u "$TMP/cli_clusters.txt" "$TMP/server_clusters.txt"; then
+	echo "server clusters diverge from the library CLI" >&2
+	exit 1
+fi
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "smoke OK: server clusters match the library CLI" >&2

@@ -1,0 +1,119 @@
+package crowdjoin_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crowdjoin/internal/server"
+)
+
+// benchServerCorpus builds n records over synthetic entities (3 variants
+// each, token overlap above the default threshold).
+func benchServerCorpus(n int) []server.Record {
+	recs := make([]server.Record, 0, n)
+	for i := 0; len(recs) < n; i++ {
+		for j := 0; j < 3 && len(recs) < n; j++ {
+			recs = append(recs, server.Record{
+				Text:   fmt.Sprintf("brand%d model%d variant%d", i/3, i, j),
+				Entity: fmt.Sprintf("e%d", i),
+			})
+		}
+	}
+	return recs
+}
+
+// BenchmarkServerThroughput measures the join server end to end over HTTP
+// with a simulated per-question crowd latency: one op submits J jobs and
+// waits for all of them. jobs=1 is the sequential baseline; jobs=8 shows
+// the cross-job scheduler multiplexing all jobs' HIT rounds onto the same
+// crowd worker pool — wall-clock per job drops well below the sequential
+// cost because no job waits for another's round to drain.
+func BenchmarkServerThroughput(b *testing.B) {
+	recs := benchServerCorpus(30)
+	spec, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			srv, err := server.New(server.Config{
+				DataDir: b.TempDir(),
+				Workers: 8,
+				Latency: 200 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, jobs)
+				for k := range ids {
+					ids[k] = benchSubmit(b, ts.URL, spec)
+				}
+				for _, id := range ids {
+					benchWaitDone(b, ts.URL, id)
+				}
+			}
+			b.StopTimer()
+			secPerOp := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(jobs)/secPerOp, "jobs/sec")
+		})
+	}
+}
+
+func benchSubmit(b *testing.B, base string, spec []byte) string {
+	b.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &created); err != nil {
+		b.Fatal(err)
+	}
+	return created.ID
+}
+
+func benchWaitDone(b *testing.B, base, id string) {
+	b.Helper()
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "running":
+			time.Sleep(200 * time.Microsecond)
+		default:
+			b.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+		}
+	}
+}

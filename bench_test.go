@@ -536,6 +536,69 @@ func BenchmarkShardedParallelLabeling(b *testing.B) {
 	}
 }
 
+// BenchmarkGiantComponent measures the balance-aware question router on the
+// workload that motivates it: Paper@0.3, where one connected component holds
+// ~94% of the candidate pairs, so component-granular scheduling
+// (LabelShardedParallelRun's largest-first workers) pins one worker on the
+// giant component and k buys almost nothing over k=1. The routed run keeps
+// the identical per-component round structure but splits every published
+// round into single questions spread across k modeled crowd workers
+// (stride-weighted by remaining unlabeled pairs), so the giant component's
+// big rounds actually use the whole crowd. Labels and crowd cost are
+// identical across all three variants (pinned by the root-package router
+// differential tests); only wall-clock moves. Tracked in BENCH_core.json
+// and gated by benchjson --compare.
+func BenchmarkGiantComponent(b *testing.B) {
+	e := benchEnv(b)
+	pairs := e.Paper.Candidates(0.3)
+	order := core.ExpectedOrder(pairs)
+	numObjects := e.Paper.Dataset.Len()
+	// Higher per-question latency than BenchmarkShardedParallelLabeling: the
+	// router answers via single-question batches, so each question pays its
+	// own sleep call, and at 500µs the OS timer overhead (~0.5ms/call on
+	// this class of box) would rival the modeled crowd time itself.
+	oracle := latencyBatchOracle{truth: e.Paper.Truth, perPair: 2 * time.Millisecond}
+	pt, err := core.BuildPartition(numObjects, order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	giant := 0
+	for i := range pt.Shards {
+		if n := len(pt.Shards[i].Order); n > giant {
+			giant = n
+		}
+	}
+	const k = 4
+	variants := []struct {
+		name string
+		run  func() (*core.ParallelResult, error)
+	}{
+		{"k=1", func() (*core.ParallelResult, error) {
+			return core.LabelParallelRun(numObjects, order, oracle, core.RunOpts{})
+		}},
+		{"k=4-largest-first", func() (*core.ParallelResult, error) {
+			return core.LabelShardedParallelRun(numObjects, order, oracle, k, core.RunOpts{})
+		}},
+		{"k=4-balanced", func() (*core.ParallelResult, error) {
+			return core.LabelRoutedParallelRun(pt, oracle, k, core.RunOpts{})
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var crowdsourced int
+			for i := 0; i < b.N; i++ {
+				r, err := v.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				crowdsourced = r.NumCrowdsourced
+			}
+			b.ReportMetric(float64(crowdsourced), "crowdsourced")
+			b.ReportMetric(100*float64(giant)/float64(len(order)), "giant-pair-%")
+		})
+	}
+}
+
 func BenchmarkCrowdsourceablePairs(b *testing.B) {
 	e := benchEnv(b)
 	pairs := e.Paper.Candidates(0.3)

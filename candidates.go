@@ -59,6 +59,40 @@ func (m Matcher) Similarity(a, b string) float64 {
 	return candgen.TextSimilarity(a, b, w)
 }
 
+// cascadeSession caches the tokenized dataset and scorer across the stages
+// of a multi-threshold cascade (WithCascade): descending a threshold reuses
+// the token arenas, the rare-first rank order, and the pooled join scratch
+// instead of re-deriving them per stage.
+type cascadeSession struct {
+	d *dataset.Dataset
+	s *candgen.Scorer
+}
+
+func (m Matcher) newCascadeSession(a, b []string, bipartite bool) (*cascadeSession, error) {
+	if m.Threshold <= 0 || m.Threshold > 1 {
+		return nil, fmt.Errorf("crowdjoin: Matcher.Threshold %v outside (0,1]", m.Threshold)
+	}
+	if !bipartite {
+		b = nil
+	}
+	d := textsToDataset(a, b)
+	w := candgen.Unweighted
+	if m.UseIDF {
+		w = candgen.IDFWeighted
+	}
+	return &cascadeSession{d: d, s: candgen.NewScorer(d, w)}, nil
+}
+
+// band returns the [lo, hi) similarity band of the session's dataset,
+// restricted by keep (see candgen.BandCandidates).
+func (cs *cascadeSession) band(lo, hi float64, keep func(a, b int32) bool) ([]Pair, error) {
+	return candgen.BandCandidates(cs.d, cs.s, lo, hi, keep)
+}
+
+// sortPairsByLikelihood re-sorts pairs likelihood-descending (ties by
+// object ids) — the order every candidate generator emits.
+func sortPairsByLikelihood(pairs []Pair) { candgen.SortByLikelihood(pairs) }
+
 // textsToDataset wraps raw texts in the internal dataset representation.
 // Ground-truth entities are unknown to the facade, so every record carries
 // entity 0; nothing in candidate generation reads them.

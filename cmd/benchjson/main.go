@@ -10,8 +10,9 @@
 // committed snapshot: a benchstat-style delta table per shared benchmark
 // (best-of-count ns/op on each side, so -count reruns tighten the
 // comparison rather than skewing it), exiting 1 when any
-// gated benchmark (the BenchmarkCandidates* family or
-// BenchmarkStreamingAppend) regresses more than 10% in ns/op. CI runs the compare warn-only; the exit code is for
+// gated benchmark (the BenchmarkCandidates* family, BenchmarkStreamingAppend,
+// or the BenchmarkGiantComponent router variants) regresses more than 10% in
+// ns/op. CI runs the compare warn-only; the exit code is for
 // local `scripts/bench.sh --compare` loops.
 package main
 
@@ -47,11 +48,13 @@ type Report struct {
 const regressLimit = 0.10
 
 // gated reports whether a benchmark's ns/op regression fails the compare:
-// the candidate-generation family and the streaming-append path, the two
-// kernels whose wall-clock the repo tracks as acceptance criteria.
+// the candidate-generation family, the streaming-append path, and the
+// giant-component router variants — the kernels whose wall-clock the repo
+// tracks as acceptance criteria.
 func gated(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkCandidates") ||
-		strings.HasPrefix(name, "BenchmarkStreamingAppend")
+		strings.HasPrefix(name, "BenchmarkStreamingAppend") ||
+		strings.HasPrefix(name, "BenchmarkGiantComponent")
 }
 
 func parse(r io.Reader) ([]Benchmark, error) {
@@ -73,7 +76,9 @@ func parse(r io.Reader) ([]Benchmark, error) {
 		}
 		b := Benchmark{
 			// Strip the -GOMAXPROCS suffix for stable names across hosts.
-			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			// Only a trailing run of digits counts: sub-benchmark names may
+			// themselves contain hyphens (GiantComponent/k=4-balanced-8).
+			Name:       trimProcs(fields[0]),
 			Iterations: iters,
 			Metrics:    map[string]float64{},
 		}
@@ -88,6 +93,20 @@ func parse(r io.Reader) ([]Benchmark, error) {
 		out = append(out, b)
 	}
 	return out, sc.Err()
+}
+
+// trimProcs removes a trailing -N GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // bestNs collapses repeated -count entries to the per-name minimum ns/op —

@@ -5,6 +5,7 @@
 //	crowdjoin -a records.txt [-b other.txt] [-threshold 0.3] [-idf]
 //	          [-crowd interactive|auto] [-truth truth.txt] [-parallel]
 //	          [-concurrency k] [-budget n] [-guess 0.5]
+//	          [-accept x] [-reject y]
 //	          [-resume journal.log] [-trace] [-stream]
 //
 // Records are one per line. With -b, the join is bipartite (pairs span the
@@ -24,6 +25,14 @@
 // "entitykey<TAB>record text" so the oracle can answer about them.
 // -stream is unipartite (-b is rejected) and pairs well with -resume: an
 // interrupted stream resumes with every answer and every arrival replayed.
+//
+// With -accept x and/or -reject y, similarity-banded triage answers the
+// obvious pairs for free: candidates at likelihood ≥ x are machine-labeled
+// matching, those at likelihood ≤ y machine-labeled non-matching, and only
+// the uncertain band in between consults the crowd. Triaged answers are
+// traced as pair-triaged events, counted separately in the final summary,
+// and never written to the -resume journal (they are recomputed from the
+// bands on every run). Triage is incompatible with -budget.
 //
 // With -budget n, at most n pairs are crowdsourced and the rest fall back
 // to the machine guess (likelihood ≥ -guess → matching). With
@@ -65,6 +74,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "run this many connected components of the candidate graph concurrently")
 	budget := flag.Int("budget", -1, "crowdsource at most this many pairs, then guess (-1: unlimited)")
 	guess := flag.Float64("guess", 0.5, "guess matching at likelihood >= this once the budget is spent")
+	accept := flag.Float64("accept", 0, "machine-accept pairs at likelihood >= this without asking the crowd (0: off)")
+	reject := flag.Float64("reject", 0, "machine-reject pairs at likelihood <= this without asking the crowd (0: off)")
 	resume := flag.String("resume", "", "label-journal path: append answers and replay them on rerun")
 	trace := flag.Bool("trace", false, "stream per-pair progress events to stderr")
 	stream := flag.Bool("stream", false, "after the first round, read record batches from stdin and append them to the session")
@@ -131,6 +142,12 @@ func main() {
 		crowdjoin.WithOracle(oracle),
 		crowdjoin.WithConcurrency(*concurrency),
 	)
+	if *accept != 0 || *reject != 0 {
+		if *budget >= 0 {
+			fatal(fmt.Errorf("-accept/-reject are incompatible with -budget"))
+		}
+		opts = append(opts, crowdjoin.WithTriage(*accept, *reject))
+	}
 	switch {
 	case *parallel && *budget >= 0:
 		fatal(fmt.Errorf("-parallel and -budget are mutually exclusive"))
@@ -208,6 +225,10 @@ func main() {
 	if res.Replayed > 0 {
 		fmt.Fprintf(os.Stderr, " (%d answers replayed from %s)", res.Replayed, *resume)
 	}
+	if n := res.TriageAccepted + res.TriageRejected; n > 0 {
+		fmt.Fprintf(os.Stderr, ", triaged %d from the similarity bands (%d accepted, %d rejected)",
+			n, res.TriageAccepted, res.TriageRejected)
+	}
 	if res.NumGuessed > 0 {
 		fmt.Fprintf(os.Stderr, ", guessed %d from the machine likelihood", res.NumGuessed)
 	}
@@ -251,6 +272,10 @@ func streamLoop(ctx context.Context, j *crowdjoin.Join, texts *[]string, keys *[
 				src = resume
 			}
 			fmt.Fprintf(os.Stderr, " (%d answers replayed from %s)", res.Replayed, src)
+		}
+		if n := res.TriageAccepted + res.TriageRejected; n > 0 {
+			fmt.Fprintf(os.Stderr, ", triaged %d from the similarity bands (%d accepted, %d rejected)",
+				n, res.TriageAccepted, res.TriageRejected)
 		}
 		fmt.Fprintln(os.Stderr)
 		clusters, cerr := res.Clusters()

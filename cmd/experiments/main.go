@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig10|fig11|fig12|fig13|fig14|fig15|table1|table2|extbudget|ext1to1] [-small] [-idf] [-seed N]
+//	experiments [-exp all|fig10|fig11|fig12|fig13|fig14|fig15|table1|table2|extbudget|ext1to1|triagecurve] [-small] [-idf] [-seed N]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -60,6 +60,7 @@ func main() {
 		{"table2", func() (fmt.Stringer, error) { return env.Table2() }},
 		{"extbudget", func() (fmt.Stringer, error) { return env.ExtBudget() }},
 		{"ext1to1", func() (fmt.Stringer, error) { return env.ExtOneToOne() }},
+		{"triagecurve", func() (fmt.Stringer, error) { return env.TriageCurve() }},
 	}
 	matched := false
 	for _, r := range runners {

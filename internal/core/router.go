@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Balance-aware crowd routing. The largest-first scheduling of runShards
+// assigns whole components to k workers, so one giant component (Paper@0.3
+// is 94% of the pairs in a single component) pins a worker for the whole
+// join and k buys almost nothing. LabelRoutedParallelRun keeps the
+// per-component round structure — every shard still runs the unmodified
+// LabelParallelRun, so labels, crowd cost, and per-shard round sizes are
+// byte-identical for order-independent crowds — but models the crowd as k
+// concurrent workers answering one question at a time: every shard's
+// published round is split into individual questions and dispatched by
+// stride scheduling, each shard's share weighted by its remaining-unlabeled
+// pairs. The giant component's big rounds spread across all k crowd
+// workers, and a small component's one-pair round starts at stride pass 0,
+// so its instant decisions overlap the giant component's crowd latency
+// instead of queueing behind it.
+
+// routedRound is one shard round in flight through the router.
+type routedRound struct {
+	shard   int
+	pairs   []Pair // global coordinates
+	answers []Label
+	next    int // questions dispatched to workers
+	done    int // answers received
+	// short marks a round an inner-oracle misanswer or a shutdown cut off;
+	// the submitting driver gets nil answers and applies its cancellation
+	// contract. settled guards the one-time close of ready.
+	short   bool
+	settled bool
+	ready   chan struct{}
+}
+
+// questionRouter is the shared dispatcher: shard drivers enqueue rounds,
+// k crowd workers pull single questions off them.
+type questionRouter struct {
+	inner BatchOracle
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds rounds with undispatched questions; live holds every
+	// incomplete round (shutdown must release their waiters).
+	queue  []*routedRound
+	live   map[*routedRound]struct{}
+	pass   []float64 // per-shard stride pass: pick min, advance by 1/weight
+	closed bool
+	// remaining is the per-shard unlabeled-pair count, the stride weight.
+	// Shard goroutines decrement it from their progress hooks; workers read
+	// it without the router lock.
+	remaining []atomic.Int64
+}
+
+func newQuestionRouter(inner BatchOracle, shards int) *questionRouter {
+	r := &questionRouter{
+		inner:     inner,
+		live:      make(map[*routedRound]struct{}),
+		pass:      make([]float64, shards),
+		remaining: make([]atomic.Int64, shards),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// settleLocked completes a round exactly once. Callers hold r.mu.
+func (r *questionRouter) settleLocked(rd *routedRound) {
+	if rd.settled {
+		return
+	}
+	rd.settled = true
+	delete(r.live, rd)
+	close(rd.ready)
+}
+
+// submit enqueues a round and blocks until every question is answered (or
+// the router shuts down). Returns nil on shutdown or a misbehaving inner
+// oracle; the parallel driver maps that onto its cancellation contract.
+func (r *questionRouter) submit(rd *routedRound) []Label {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.live[rd] = struct{}{}
+	r.queue = append(r.queue, rd)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	<-rd.ready
+	if rd.short {
+		return nil
+	}
+	return rd.answers
+}
+
+// worker is one modeled crowd worker: repeatedly claim the single question
+// whose shard has the lowest stride pass, answer it through the inner
+// oracle, deliver, until shutdown.
+func (r *questionRouter) worker() {
+	for {
+		r.mu.Lock()
+		for !r.closed && len(r.queue) == 0 {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		best := 0
+		for i := 1; i < len(r.queue); i++ {
+			if r.pass[r.queue[i].shard] < r.pass[r.queue[best].shard] {
+				best = i
+			}
+		}
+		rd := r.queue[best]
+		idx := rd.next
+		rd.next++
+		if rd.next == len(rd.pairs) {
+			r.queue[best] = r.queue[len(r.queue)-1]
+			r.queue = r.queue[:len(r.queue)-1]
+		}
+		w := float64(r.remaining[rd.shard].Load())
+		if w < 1 {
+			w = 1
+		}
+		r.pass[rd.shard] += 1 / w
+		r.mu.Unlock()
+
+		ans := r.inner.LabelBatch(rd.pairs[idx : idx+1])
+
+		r.mu.Lock()
+		if len(ans) == 1 {
+			rd.answers[idx] = ans[0]
+		} else {
+			rd.short = true
+		}
+		rd.done++
+		if rd.done == len(rd.pairs) {
+			r.settleLocked(rd)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// shutdown stops the workers and releases every waiting round with short
+// answers. Idempotent; called on session cancellation and again after the
+// shard drivers drain.
+func (r *questionRouter) shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	r.queue = nil
+	for rd := range r.live {
+		rd.short = true
+		r.settleLocked(rd)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// routedShardOracle is a shard's view of the router: rounds go out in
+// global coordinates and come back assembled, exactly like
+// shardBatchOracle over a direct crowd.
+type routedShardOracle struct {
+	r *questionRouter
+	s *Shard
+}
+
+func (o routedShardOracle) LabelBatch(ps []Pair) []Label {
+	rd := &routedRound{
+		shard:   o.s.Component,
+		pairs:   make([]Pair, len(ps)),
+		answers: make([]Label, len(ps)),
+		ready:   make(chan struct{}),
+	}
+	for i, p := range ps {
+		rd.pairs[i] = o.s.Global[p.ID]
+	}
+	return o.r.submit(rd)
+}
+
+// LabelRoutedParallelRun runs the parallel labeler on every component of pt
+// concurrently, with crowd-side concurrency k supplied by the balance-aware
+// question router described above (rather than runShards' k whole-component
+// workers). The batch oracle must be safe for concurrent use; it sees
+// one-pair batches, one per modeled crowd worker turn. Labels, crowdsourced
+// counts, and per-round sizes match LabelPartitionedParallelRun for crowds
+// whose answer to a pair does not depend on question order or batching.
+func LabelRoutedParallelRun(pt *Partition, oracle BatchOracle, k int, ro RunOpts) (*ParallelResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	ctx := ro.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	r := newQuestionRouter(oracle, len(pt.Shards))
+	for i := range pt.Shards {
+		r.remaining[i].Store(int64(len(pt.Shards[i].Order)))
+	}
+	stop := context.AfterFunc(ctx, r.shutdown)
+	defer stop()
+	var workerWG sync.WaitGroup
+	for w := 0; w < k; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			r.worker()
+		}()
+	}
+
+	res := &ParallelResult{Result: *newResult(pt.NumPairs())}
+	var mergeMu, progressMu sync.Mutex
+	errs := make([]error, len(pt.Shards))
+	var wg sync.WaitGroup
+	for i := range pt.Shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			sro := s.shardRunOpts(ctx, ro.Progress, &progressMu)
+			inner := sro.Progress
+			sro.Progress = func(e Event) {
+				switch e.Kind {
+				case EventPairCrowdsourced, EventPairDeduced:
+					r.remaining[s.Component].Add(-1)
+				}
+				if inner != nil {
+					inner(e)
+				}
+			}
+			rr, err := LabelParallelRun(s.NumObjects, s.Order, routedShardOracle{r, s}, sro)
+			if rr != nil {
+				mergeMu.Lock()
+				mergeShardResult(&res.Result, s, &rr.Result)
+				res.RoundSizes = addRoundSizes(res.RoundSizes, rr.RoundSizes)
+				res.Conflicts += rr.Conflicts
+				mergeMu.Unlock()
+			}
+			if err != nil {
+				errs[s.Component] = err
+				cancel() // hard failure or cancellation: stop sibling shards
+			}
+		}(&pt.Shards[i])
+	}
+	wg.Wait()
+	r.shutdown()
+	workerWG.Wait()
+
+	// Same reporting contract as runShards: the lowest-numbered hard
+	// failure wins; pure cancellation returns the merged partial result
+	// with the caller's context error.
+	for _, err := range errs {
+		if err != nil && err != ctx.Err() {
+			return nil, err
+		}
+	}
+	return res, ro.err()
+}

@@ -36,6 +36,12 @@ const (
 	// surviving (lower) stable component id and Absorbed the id it
 	// swallowed.
 	EventComponentsMerged
+	// EventPairTriaged: the similarity-banded triage layer answered a pair
+	// from the machine score instead of the crowd — Label carries the
+	// machine's answer (Matching above the accept band, NonMatching below
+	// the reject band). The pair still flows through the deduction engine
+	// like any crowd answer; EventPairCrowdsourced is not emitted for it.
+	EventPairTriaged
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +63,8 @@ func (k EventKind) String() string {
 		return "record-appended"
 	case EventComponentsMerged:
 		return "components-merged"
+	case EventPairTriaged:
+		return "pair-triaged"
 	default:
 		return "EventKind(?)"
 	}

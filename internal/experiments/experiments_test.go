@@ -327,3 +327,37 @@ func TestNewEnvValidation(t *testing.T) {
 		t.Error("threshold below MinThreshold accepted")
 	}
 }
+
+// TestTriageCurveReduction pins the issue's acceptance shape on the Paper
+// workload: at least one triage/cascade configuration cuts crowd questions
+// by ≥30% while losing at most one point of F1 against the no-shortcut
+// transitive baseline, and every configuration spends no more than the
+// baseline (triage can only remove crowd questions, never add them).
+func TestTriageCurveReduction(t *testing.T) {
+	r, err := env(t).TriageCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Curve.Baseline
+	if base.CrowdQuestions == 0 {
+		t.Fatal("baseline crowdsourced nothing")
+	}
+	if base.Quality.F1 < 0.9 {
+		t.Fatalf("baseline F1 %.3f implausibly low for a perfect crowd", base.Quality.F1)
+	}
+	for _, p := range r.Curve.Points {
+		if p.CrowdQuestions > base.CrowdQuestions {
+			t.Errorf("%s asked %d questions, above the %d baseline", p.Label, p.CrowdQuestions, base.CrowdQuestions)
+		}
+	}
+	best := r.Curve.BestReduction(0.01)
+	if best == nil {
+		t.Fatal("no configuration within 1 point of baseline F1")
+	}
+	if red := best.Reduction(base); red < 0.30 {
+		t.Errorf("best qualifying reduction %.1f%% (%s), want ≥ 30%%", 100*red, best.Label)
+	}
+	if len(strings.TrimSpace(r.String())) == 0 {
+		t.Error("triagecurve rendering is empty")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"crowdjoin"
+	"crowdjoin/internal/candgen"
+	"crowdjoin/internal/core"
+	"crowdjoin/internal/metrics"
+)
+
+// TriageCurve is the cost/quality experiment of the paper's figs 13–15
+// reshaped around the hybrid triage layer: label the Paper threshold-0.3
+// candidates (one 90%+ giant component) with a perfect crowd, once without
+// shortcuts and once per similarity-banded-triage and cascade
+// configuration, and plot result quality against the crowd questions
+// actually asked. Machine triage answers banded pairs for free but can be
+// wrong where the bands are (accepting a non-match, rejecting a match), so
+// the curve exposes how many crowd questions the bands buy per point of F1
+// given up.
+
+// TriageCurveResult holds the curve for the Paper workload.
+type TriageCurveResult struct {
+	Threshold float64
+	Curve     *metrics.Curve
+}
+
+// countingBatchOracle counts the pairs that actually reach the crowd —
+// triaged and journal-replayed pairs never do — so cascade sessions (whose
+// final-stage counters mix fresh questions with replays) are charged their
+// true cumulative spend.
+type countingBatchOracle struct {
+	inner core.BatchOracle
+	n     atomic.Int64
+}
+
+func (o *countingBatchOracle) LabelBatch(ps []core.Pair) []core.Label {
+	o.n.Add(int64(len(ps)))
+	return o.inner.LabelBatch(ps)
+}
+
+// TriageCurve runs the experiment at threshold 0.3 on the Paper workload.
+func (e *Env) TriageCurve() (*TriageCurveResult, error) {
+	const threshold = 0.3
+	wl := e.Paper
+	texts := make([]string, wl.Dataset.Len())
+	for i := range texts {
+		texts[i] = wl.Dataset.Records[i].Text()
+	}
+	entities := wl.Dataset.Entities()
+	trueMatches := wl.Dataset.TrueMatchingPairs()
+	matcher := crowdjoin.Matcher{Threshold: threshold, UseIDF: e.Cfg.Weighting == candgen.IDFWeighted}
+
+	// Quality is measured on the implied clustering, not the explicit
+	// per-pair labels: the cascade deliberately never generates pairs
+	// between records already settled into entities, and the clustering is
+	// where those implied answers live.
+	run := func(extra ...crowdjoin.JoinOption) (metrics.Quality, int, error) {
+		counter := &countingBatchOracle{inner: core.Batched(wl.Truth)}
+		opts := []crowdjoin.JoinOption{
+			crowdjoin.WithTexts(texts),
+			crowdjoin.WithMatcher(matcher),
+			crowdjoin.WithStrategy(crowdjoin.ParallelStrategy),
+			crowdjoin.WithBatchOracle(counter),
+		}
+		j, err := crowdjoin.NewJoin(append(opts, extra...)...)
+		if err != nil {
+			return metrics.Quality{}, 0, err
+		}
+		res, err := j.Run(context.Background())
+		if err != nil {
+			return metrics.Quality{}, 0, err
+		}
+		clusters, err := res.Clusters()
+		if err != nil {
+			return metrics.Quality{}, 0, err
+		}
+		return metrics.EvaluateClusters(clusters, entities, trueMatches), int(counter.n.Load()), nil
+	}
+
+	baseQ, baseCost, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("triagecurve baseline: %w", err)
+	}
+	curve := &metrics.Curve{
+		Name: fmt.Sprintf("F1 vs crowd cost, Paper threshold %.1f (figs 13–15 shape)", threshold),
+		Baseline: metrics.CostPoint{
+			Label:          "transitive, no triage",
+			CrowdQuestions: baseCost,
+			Quality:        baseQ,
+		},
+	}
+
+	configs := []struct {
+		label string
+		opts  []crowdjoin.JoinOption
+	}{
+		{"triage accept≥0.8", []crowdjoin.JoinOption{crowdjoin.WithTriage(0.8, 0)}},
+		{"triage accept≥0.7", []crowdjoin.JoinOption{crowdjoin.WithTriage(0.7, 0)}},
+		{"triage 0.7/0.35", []crowdjoin.JoinOption{crowdjoin.WithTriage(0.7, 0.35)}},
+		{"triage 0.6/0.4", []crowdjoin.JoinOption{crowdjoin.WithTriage(0.6, 0.4)}},
+		{"cascade 0.5→0.4→0.3", []crowdjoin.JoinOption{crowdjoin.WithCascade(0.5, 0.4)}},
+		{"cascade + triage accept≥0.7", []crowdjoin.JoinOption{
+			crowdjoin.WithCascade(0.5, 0.4), crowdjoin.WithTriage(0.7, 0)}},
+		{"cascade + triage 0.7/0.35", []crowdjoin.JoinOption{
+			crowdjoin.WithCascade(0.5, 0.4), crowdjoin.WithTriage(0.7, 0.35)}},
+	}
+	for _, cfg := range configs {
+		q, cost, err := run(cfg.opts...)
+		if err != nil {
+			return nil, fmt.Errorf("triagecurve %s: %w", cfg.label, err)
+		}
+		curve.Add(cfg.label, cost, q)
+	}
+	return &TriageCurveResult{Threshold: threshold, Curve: curve}, nil
+}
+
+// String renders the curve with the best qualifying trade-off called out.
+func (r *TriageCurveResult) String() string {
+	var b strings.Builder
+	b.WriteString(r.Curve.String())
+	if best := r.Curve.BestReduction(0.01); best != nil {
+		fmt.Fprintf(&b, "  best at ≤1-point F1 loss: %s — %.1f%% fewer crowd questions\n",
+			best.Label, 100*best.Reduction(r.Curve.Baseline))
+	} else {
+		b.WriteString("  no configuration stays within 1 point of baseline F1\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quality-vs-crowd-cost curves, the shape of the paper's figs 13–15 cost/
+// quality experiments: each point is one configuration (a triage band, a
+// cascade ladder, a budget) evaluated by how many crowd questions it asked
+// and what result quality it achieved, compared against a no-shortcut
+// baseline.
+
+// CostPoint is one configuration's outcome on a quality-vs-cost curve.
+type CostPoint struct {
+	// Label names the configuration (e.g. "triage 0.7/0.35").
+	Label string
+	// CrowdQuestions is the number of pairs the configuration actually
+	// crowdsourced (machine-triaged, deduced, and replayed pairs excluded).
+	CrowdQuestions int
+	// Quality is the configuration's result quality against ground truth.
+	Quality Quality
+}
+
+// Reduction returns the point's relative crowd-question saving against a
+// baseline: (baseline − point) / baseline, so 0.3 means 30% fewer
+// questions. A zero-cost baseline yields 0.
+func (p CostPoint) Reduction(baseline CostPoint) float64 {
+	if baseline.CrowdQuestions == 0 {
+		return 0
+	}
+	return float64(baseline.CrowdQuestions-p.CrowdQuestions) / float64(baseline.CrowdQuestions)
+}
+
+// F1Loss returns how much F1 the point gives up against a baseline
+// (negative when it improves).
+func (p CostPoint) F1Loss(baseline CostPoint) float64 {
+	return baseline.Quality.F1 - p.Quality.F1
+}
+
+// Curve is a quality-vs-crowd-cost curve: a baseline configuration plus the
+// cost-saving configurations measured against it.
+type Curve struct {
+	Name     string
+	Baseline CostPoint
+	Points   []CostPoint
+}
+
+// Add appends one configuration's outcome.
+func (c *Curve) Add(label string, crowdQuestions int, q Quality) {
+	c.Points = append(c.Points, CostPoint{Label: label, CrowdQuestions: crowdQuestions, Quality: q})
+}
+
+// BestReduction returns the point with the largest crowd-question reduction
+// among those whose F1 loss against the baseline is at most maxF1Loss, or
+// nil when no point qualifies.
+func (c *Curve) BestReduction(maxF1Loss float64) *CostPoint {
+	var best *CostPoint
+	for i := range c.Points {
+		p := &c.Points[i]
+		if p.F1Loss(c.Baseline) > maxF1Loss {
+			continue
+		}
+		if best == nil || p.Reduction(c.Baseline) > best.Reduction(c.Baseline) {
+			best = p
+		}
+	}
+	return best
+}
+
+// String renders the curve as a table, points sorted by crowd cost
+// descending (the baseline first), with per-point reduction and F1 loss.
+func (c *Curve) String() string {
+	pts := append([]CostPoint{c.Baseline}, c.Points...)
+	sort.SliceStable(pts[1:], func(i, j int) bool {
+		return pts[1+i].CrowdQuestions > pts[1+j].CrowdQuestions
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Name)
+	fmt.Fprintf(&b, "  %-28s %10s %10s %9s %9s %8s\n",
+		"config", "questions", "reduction", "precision", "recall", "F1")
+	for i, p := range pts {
+		red := "-"
+		if i > 0 {
+			red = fmt.Sprintf("%.1f%%", 100*p.Reduction(c.Baseline))
+		}
+		fmt.Fprintf(&b, "  %-28s %10d %10s %8.2f%% %8.2f%% %7.2f%%\n",
+			p.Label, p.CrowdQuestions, red,
+			100*p.Quality.Precision, 100*p.Quality.Recall, 100*p.Quality.F1)
+	}
+	return b.String()
+}

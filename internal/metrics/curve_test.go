@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func q(f1 float64) Quality { return Quality{Precision: f1, Recall: f1, F1: f1} }
+
+func TestCostPointReductionAndLoss(t *testing.T) {
+	base := CostPoint{Label: "baseline", CrowdQuestions: 1000, Quality: q(0.95)}
+	p := CostPoint{Label: "triage", CrowdQuestions: 600, Quality: q(0.94)}
+	if got := p.Reduction(base); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Reduction = %v, want 0.4", got)
+	}
+	if got := p.F1Loss(base); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("F1Loss = %v, want 0.01", got)
+	}
+	better := CostPoint{CrowdQuestions: 1100, Quality: q(0.97)}
+	if got := better.F1Loss(base); got >= 0 {
+		t.Fatalf("F1Loss of an improving point = %v, want negative", got)
+	}
+	zero := CostPoint{CrowdQuestions: 0}
+	if got := p.Reduction(zero); got != 0 {
+		t.Fatalf("Reduction against zero baseline = %v, want 0", got)
+	}
+}
+
+func TestCurveBestReduction(t *testing.T) {
+	c := &Curve{
+		Name:     "test",
+		Baseline: CostPoint{Label: "baseline", CrowdQuestions: 1000, Quality: q(0.95)},
+	}
+	c.Add("cheap but lossy", 200, q(0.80))  // 80% reduction, 15-point loss
+	c.Add("balanced", 650, q(0.945))        // 35% reduction, 0.5-point loss
+	c.Add("conservative", 900, q(0.95))     // 10% reduction, no loss
+	c.Add("worse and dearer", 1200, q(0.9)) // negative reduction
+
+	best := c.BestReduction(0.01)
+	if best == nil || best.Label != "balanced" {
+		t.Fatalf("BestReduction(0.01) = %+v, want the balanced point", best)
+	}
+	if best = c.BestReduction(1); best == nil || best.Label != "cheap but lossy" {
+		t.Fatalf("BestReduction(1) = %+v, want the lossiest point", best)
+	}
+	if best = c.BestReduction(0); best == nil || best.Label != "conservative" {
+		t.Fatalf("BestReduction(0) = %+v, want the no-loss point", best)
+	}
+	strict := &Curve{Baseline: c.Baseline}
+	strict.Add("lossy", 10, q(0.1))
+	if got := strict.BestReduction(0.001); got != nil {
+		t.Fatalf("BestReduction with no qualifying point = %+v, want nil", got)
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	c := &Curve{
+		Name:     "F1 vs cost",
+		Baseline: CostPoint{Label: "baseline", CrowdQuestions: 100, Quality: q(0.9)},
+	}
+	c.Add("a", 40, q(0.89))
+	c.Add("b", 70, q(0.9))
+	s := c.String()
+	for _, want := range []string{"baseline", "a", "b", "60.0%", "30.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Curve.String() missing %q:\n%s", want, s)
+		}
+	}
+	// Baseline leads, then descending cost.
+	if bi, ai := strings.Index(s, "baseline"), strings.Index(s, "\n  a"); bi > ai {
+		t.Fatalf("baseline not first:\n%s", s)
+	}
+}

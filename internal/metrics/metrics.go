@@ -57,6 +57,40 @@ func Evaluate(pairs []core.Pair, labels []core.Label, entity []int32, totalTrueM
 	return q
 }
 
+// EvaluateClusters scores an entity clustering (e.g. JoinResult.Clusters)
+// pairwise: every intra-cluster record pair counts as a matching label, TP
+// when the two records share a ground-truth entity. This is Evaluate over
+// the transitive closure of the matching labels, so it also credits matches
+// a candidate set never contained (or a cascade never generated) but the
+// clustering implies — the natural quality measure once labels are
+// transitively consistent.
+func EvaluateClusters(clusters [][]int32, entity []int32, totalTrueMatches int) Quality {
+	var q Quality
+	for _, c := range clusters {
+		for i := 1; i < len(c); i++ {
+			for j := 0; j < i; j++ {
+				if entity[c[i]] == entity[c[j]] {
+					q.TP++
+				} else {
+					q.FP++
+				}
+			}
+		}
+	}
+	q.FN = totalTrueMatches - q.TP
+	if q.FN < 0 {
+		q.FN = 0
+	}
+	q.Precision = ratio(q.TP, q.TP+q.FP)
+	q.Recall = ratio(q.TP, q.TP+q.FN)
+	if q.Precision+q.Recall == 0 {
+		q.F1 = 0
+	} else {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
 func ratio(num, den int) float64 {
 	if den == 0 {
 		return 1

@@ -104,3 +104,30 @@ func TestEvaluateClampsNegativeFN(t *testing.T) {
 		t.Errorf("recall = %v, want 1", q.Recall)
 	}
 }
+
+func TestEvaluateClusters(t *testing.T) {
+	entity := []int32{0, 0, 0, 1, 1, 2}
+	// Clustering merged entity 0 fully (3 TP pairs), split entity 1
+	// (1 FN), and wrongly attached the entity-2 singleton to it (1 FP).
+	clusters := [][]int32{{0, 1, 2}, {3, 5}, {4}}
+	q := EvaluateClusters(clusters, entity, 4) // true matches: 3 in e0, 1 in e1
+	if q.TP != 3 || q.FP != 1 || q.FN != 1 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d, want 3/1/1", q.TP, q.FP, q.FN)
+	}
+	if math.Abs(q.Precision-0.75) > 1e-12 || math.Abs(q.Recall-0.75) > 1e-12 {
+		t.Fatalf("P/R = %v/%v, want 0.75/0.75", q.Precision, q.Recall)
+	}
+	if math.Abs(q.F1-0.75) > 1e-12 {
+		t.Fatalf("F1 = %v, want 0.75", q.F1)
+	}
+	// Perfect clustering credits matches beyond any candidate set.
+	perfect := EvaluateClusters([][]int32{{0, 1, 2}, {3, 4}, {5}}, entity, 4)
+	if perfect.F1 != 1 {
+		t.Fatalf("perfect clustering F1 = %v, want 1", perfect.F1)
+	}
+	// Singletons only: no matching pairs at all.
+	empty := EvaluateClusters([][]int32{{0}, {1}}, []int32{0, 0}, 1)
+	if empty.TP != 0 || empty.Precision != 1 || empty.Recall != 0 {
+		t.Fatalf("singleton clustering = %+v", empty)
+	}
+}

@@ -43,6 +43,7 @@ type JobStatus struct {
 	Records           int `json:"records"`
 	Crowdsourced      int `json:"crowdsourced"`
 	Deduced           int `json:"deduced"`
+	Triaged           int `json:"triaged,omitempty"`
 	Guessed           int `json:"guessed,omitempty"`
 	ConstraintDeduced int `json:"constraint_deduced,omitempty"`
 	Replayed          int `json:"replayed,omitempty"`
@@ -65,6 +66,8 @@ type ResultPayload struct {
 	NumPairs          int `json:"num_pairs"`
 	Crowdsourced      int `json:"crowdsourced"`
 	Deduced           int `json:"deduced"`
+	TriageAccepted    int `json:"triage_accepted,omitempty"`
+	TriageRejected    int `json:"triage_rejected,omitempty"`
 	Guessed           int `json:"guessed,omitempty"`
 	ConstraintDeduced int `json:"constraint_deduced,omitempty"`
 	Replayed          int `json:"replayed,omitempty"`
@@ -85,6 +88,7 @@ type PairResult struct {
 	Likelihood   float64 `json:"likelihood"`
 	Label        string  `json:"label"`
 	Crowdsourced bool    `json:"crowdsourced,omitempty"`
+	Triaged      bool    `json:"triaged,omitempty"`
 	Guessed      bool    `json:"guessed,omitempty"`
 }
 
@@ -168,6 +172,8 @@ func (jb *job) onEvent(e crowdjoin.Event) {
 		jb.stats.Crowdsourced++
 	case crowdjoin.EventPairDeduced:
 		jb.stats.Deduced++
+	case crowdjoin.EventPairTriaged:
+		jb.stats.Triaged++
 	case crowdjoin.EventPairGuessed:
 		jb.stats.Guessed++
 	case crowdjoin.EventPairConstraintDeduced:
@@ -190,8 +196,8 @@ func (jb *job) onEvent(e crowdjoin.Event) {
 	}
 	switch e.Kind {
 	case crowdjoin.EventPairCrowdsourced, crowdjoin.EventPairDeduced,
-		crowdjoin.EventPairGuessed, crowdjoin.EventPairConstraintDeduced,
-		crowdjoin.EventConflictOverridden:
+		crowdjoin.EventPairTriaged, crowdjoin.EventPairGuessed,
+		crowdjoin.EventPairConstraintDeduced, crowdjoin.EventConflictOverridden:
 		ev.Pair = &EventPair{A: e.Pair.A, B: e.Pair.B}
 		ev.Label = e.Label.String()
 	}
@@ -231,6 +237,12 @@ func (jb *job) buildJoin(journal io.ReadWriter) (*crowdjoin.Join, error) {
 	}
 	if jb.spec.Order == "given" {
 		opts = append(opts, crowdjoin.WithOrder(crowdjoin.OrderAsGiven))
+	}
+	if jb.spec.Accept != 0 || jb.spec.Reject != 0 {
+		opts = append(opts, crowdjoin.WithTriage(jb.spec.Accept, jb.spec.Reject))
+	}
+	if jb.spec.Router == RouterBalanced {
+		opts = append(opts, crowdjoin.WithRouter(crowdjoin.BalancedRouter))
 	}
 	if jb.spec.Strategy == StrategyPlatform {
 		jp := newJobPlatform(jb.ctx, jb.srv.sched, crowd, reserve, jb.cancel)
@@ -462,6 +474,8 @@ func (jb *job) payload(res *crowdjoin.JoinResult, state, errMsg string) *ResultP
 	p.NumPairs = len(res.Order)
 	p.Crowdsourced = res.NumCrowdsourced
 	p.Deduced = res.NumDeduced
+	p.TriageAccepted = res.TriageAccepted
+	p.TriageRejected = res.TriageRejected
 	p.Guessed = res.NumGuessed
 	p.ConstraintDeduced = res.NumConstraintDeduced
 	p.Conflicts = res.Conflicts
@@ -478,6 +492,9 @@ func (jb *job) payload(res *crowdjoin.JoinResult, state, errMsg string) *ResultP
 		pr := PairResult{A: q.A, B: q.B, Likelihood: q.Likelihood, Label: res.Labels[q.ID].String()}
 		if res.Crowdsourced != nil {
 			pr.Crowdsourced = res.Crowdsourced[q.ID]
+		}
+		if res.Triaged != nil {
+			pr.Triaged = res.Triaged[q.ID]
 		}
 		if res.Guessed != nil {
 			pr.Guessed = res.Guessed[q.ID]

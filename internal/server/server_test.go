@@ -129,6 +129,12 @@ func libraryRun(t *testing.T, spec *JobSpec) *crowdjoin.JoinResult {
 	if sp.Order == "given" {
 		opts = append(opts, crowdjoin.WithOrder(crowdjoin.OrderAsGiven))
 	}
+	if sp.Accept != 0 || sp.Reject != 0 {
+		opts = append(opts, crowdjoin.WithTriage(sp.Accept, sp.Reject))
+	}
+	if sp.Router == RouterBalanced {
+		opts = append(opts, crowdjoin.WithRouter(crowdjoin.BalancedRouter))
+	}
 	if sp.Strategy == StrategyPlatform {
 		opts = append(opts,
 			crowdjoin.WithPlatform(crowdjoin.NewSimulatedCrowd(ents.oracle(), crowdjoin.SelectFIFO, nil)),
@@ -169,6 +175,9 @@ func TestServerDifferential(t *testing.T) {
 		{"onetoone-bipartite", JobSpec{Records: bipA, RecordsB: bipB, Strategy: StrategyOneToOne}},
 		{"platform-bipartite", JobSpec{Records: bipA, RecordsB: bipB}},
 		{"order-given", JobSpec{Records: recs, Order: "given"}},
+		{"platform-triage", JobSpec{Records: recs, Accept: 0.7, Reject: 0.2}},
+		{"parallel-triage-sharded", JobSpec{Records: recs, Strategy: StrategyParallel, Concurrency: 3, Accept: 0.7, Reject: 0.2}},
+		{"parallel-balanced", JobSpec{Records: recs, Strategy: StrategyParallel, Concurrency: 2, Router: RouterBalanced}},
 	}
 	_, ts := newTestServer(t, Config{Workers: 7})
 	for _, tc := range cases {
@@ -194,6 +203,10 @@ func TestServerDifferential(t *testing.T) {
 			if got.Guessed != want.NumGuessed {
 				t.Fatalf("guessed: server %d, library %d", got.Guessed, want.NumGuessed)
 			}
+			if got.TriageAccepted != want.TriageAccepted || got.TriageRejected != want.TriageRejected {
+				t.Fatalf("triage: server %d/%d, library %d/%d (accepted/rejected)",
+					got.TriageAccepted, got.TriageRejected, want.TriageAccepted, want.TriageRejected)
+			}
 			wantClusters, err := want.Clusters()
 			if err != nil {
 				t.Fatal(err)
@@ -203,6 +216,48 @@ func TestServerDifferential(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSchedulerFairness: one job with a giant candidate set shares the
+// crowd with many small jobs submitted while it is mid-flight. The
+// round-robin ring hands each job one question per turn, so every small
+// job must finish while the giant one is still running — a largest-first
+// or FIFO dispatch would make them wait out the giant job's rounds.
+func TestSchedulerFairness(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Latency: 2 * time.Millisecond})
+
+	var giant JobStatus
+	doJSON(t, "POST", ts.URL+"/jobs", JobSpec{Records: corpus(120)}, &giant, http.StatusCreated)
+	// Wait until the giant job's first round is on the ring before the
+	// small jobs arrive, so they genuinely queue behind it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st JobStatus
+		doJSON(t, "GET", ts.URL+"/jobs/"+giant.ID, nil, &st, http.StatusOK)
+		if st.Crowdsourced >= 1 {
+			break
+		}
+		if st.State != StateRunning || time.Now().After(deadline) {
+			t.Fatalf("giant job stalled in %q with %d crowdsourced", st.State, st.Crowdsourced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	small := make([]string, 8)
+	for i := range small {
+		var created JobStatus
+		doJSON(t, "POST", ts.URL+"/jobs", JobSpec{Records: corpus(6)}, &created, http.StatusCreated)
+		small[i] = created.ID
+	}
+	for _, id := range small {
+		waitState(t, ts.URL, id, StateDone)
+	}
+	var st JobStatus
+	doJSON(t, "GET", ts.URL+"/jobs/"+giant.ID, nil, &st, http.StatusOK)
+	if st.State != StateRunning {
+		t.Fatalf("giant job already %q when the last small job finished — small jobs were starved behind it", st.State)
+	}
+	waitState(t, ts.URL, giant.ID, StateDone)
 }
 
 // journaledPairs parses every job journal under dataDir and returns the
@@ -727,6 +782,10 @@ func TestServerValidation(t *testing.T) {
 		{"records": []string{"a"}, "strategy": "budget", "concurrency": 2, "budget": 3},
 		{"records": []any{map[string]any{"entity": "x"}}},
 		{"records": []string{"a"}, "unknown_field": 1},
+		{"records": []string{"a"}, "accept": 0.2, "reject": 0.5},
+		{"records": []string{"a"}, "strategy": "budget", "budget": 3, "accept": 0.7},
+		{"records": []string{"a"}, "router": "balanced"},
+		{"records": []string{"a"}, "router": "zigzag"},
 	}
 	for _, spec := range bad {
 		doJSON(t, "POST", ts.URL+"/jobs", spec, nil, http.StatusBadRequest)

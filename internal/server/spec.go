@@ -92,6 +92,20 @@ type JobSpec struct {
 	// already bought are never re-asked) and a batch with "final": true
 	// completes the job.
 	Streaming bool `json:"streaming,omitempty"`
+	// Accept and Reject configure similarity-banded triage: pairs at
+	// likelihood >= Accept are machine-labeled matching and pairs at
+	// likelihood <= Reject machine-labeled non-matching, for free; only the
+	// uncertain band between them consults the crowd. Zero for both (the
+	// default) disables triage. Machine answers are never charged to the
+	// tenant and never journaled.
+	Accept float64 `json:"accept,omitempty"`
+	Reject float64 `json:"reject,omitempty"`
+	// Router selects how a sharded job (concurrency > 1) schedules its
+	// components onto crowd workers: "largest" (default — largest component
+	// first) or "balanced" (each shard's share of questions tracks its
+	// remaining uncertain pairs; requires the "parallel" strategy and
+	// concurrency > 1).
+	Router string `json:"router,omitempty"`
 }
 
 // Strategy names accepted in JobSpec.Strategy.
@@ -101,6 +115,12 @@ const (
 	StrategyParallel   = "parallel"
 	StrategyOneToOne   = "onetoone"
 	StrategyBudget     = "budget"
+)
+
+// Router names accepted in JobSpec.Router.
+const (
+	RouterLargest  = "largest"
+	RouterBalanced = "balanced"
 )
 
 // normalize applies defaults and validates the spec.
@@ -154,6 +174,25 @@ func (s *JobSpec) normalize() error {
 	case "expected", "given":
 	default:
 		return fmt.Errorf("unknown order %q (want \"expected\" or \"given\")", s.Order)
+	}
+	if s.Accept != 0 || s.Reject != 0 {
+		if s.Reject < 0 || s.Accept > 1 || s.Reject >= s.Accept {
+			return fmt.Errorf("triage bands need 0 <= reject < accept <= 1, got accept %v reject %v", s.Accept, s.Reject)
+		}
+		if s.Strategy == StrategyBudget {
+			return fmt.Errorf("triage is incompatible with the %q strategy (machine labels would distort the budget's guess fallback)", StrategyBudget)
+		}
+	}
+	switch s.Router {
+	case "":
+		s.Router = RouterLargest
+	case RouterLargest:
+	case RouterBalanced:
+		if s.Strategy != StrategyParallel || s.Concurrency < 2 {
+			return fmt.Errorf("router %q requires the %q strategy with concurrency > 1", RouterBalanced, StrategyParallel)
+		}
+	default:
+		return fmt.Errorf("unknown router %q (want %q or %q)", s.Router, RouterLargest, RouterBalanced)
 	}
 	if s.Streaming && len(s.RecordsB) > 0 {
 		// Join.AppendAcross exists, but the batch endpoint keeps the

@@ -40,6 +40,7 @@ const (
 	EventConflictOverridden    = core.EventConflictOverridden
 	EventRecordAppended        = core.EventRecordAppended
 	EventComponentsMerged      = core.EventComponentsMerged
+	EventPairTriaged           = core.EventPairTriaged
 )
 
 // Ordering decides the labeling order of a candidate set — itself a
@@ -164,6 +165,13 @@ type Join struct {
 	incScan     bool
 	incDeduce   bool
 	concurrency int
+
+	// triage holds the similarity bands of WithTriage (zero = disabled),
+	// router the shard scheduling of WithRouter, cascade the descending
+	// threshold ladder of WithCascade (nil = single-threshold).
+	triage  core.TriageBands
+	router  Router
+	cascade []float64
 
 	progress func(Event)
 	journal  io.ReadWriter
@@ -384,6 +392,20 @@ func NewJoin(opts ...JoinOption) (*Join, error) {
 	if j.concurrency > 1 && j.strategy.kind == strategyBudget {
 		return nil, errors.New("crowdjoin: WithConcurrency > 1 is incompatible with BudgetStrategy (the budget is a global constraint)")
 	}
+	if j.triage.Enabled() && j.strategy.kind == strategyBudget {
+		return nil, errors.New("crowdjoin: WithTriage is incompatible with BudgetStrategy (machine answers would consume the crowd budget)")
+	}
+	if j.router == BalancedRouter && (j.strategy.kind != strategyParallel || j.concurrency <= 1) {
+		return nil, errors.New("crowdjoin: BalancedRouter requires ParallelStrategy with WithConcurrency > 1")
+	}
+	if j.cascade != nil {
+		if !j.haveTexts {
+			return nil, errors.New("crowdjoin: WithCascade requires WithTexts or WithTextsAcross (precomputed pairs cannot cascade)")
+		}
+		if j.strategy.kind == strategyBudget {
+			return nil, errors.New("crowdjoin: WithCascade is incompatible with BudgetStrategy (the budget is a whole-session constraint, not per stage)")
+		}
+	}
 	switch j.strategy.kind {
 	case strategyPlatform:
 		if j.platform == nil {
@@ -472,8 +494,19 @@ type JoinResult struct {
 	Replayed int
 	// Components is the number of connected components the candidate graph
 	// split into, on component-sharded runs (WithConcurrency > 1); 0
-	// otherwise.
+	// otherwise. Sessions with WithTriage shard by the *thinned* graph —
+	// machine-rejected edges do not connect components (see
+	// core.BuildTriagedPartition) — so this counts thinned components, plus
+	// one residue shard when rejected pairs bridge them.
 	Components int
+	// Triaged marks pairs answered by the machine similarity bands instead
+	// of the crowd (WithTriage); TriageAccepted and TriageRejected count the
+	// accept and reject bands' shares. Triaged pairs are excluded from
+	// Crowdsourced and NumCrowdsourced. On cascade sessions the fields
+	// reflect the final stage, which covers the full accumulated band.
+	Triaged        []bool
+	TriageAccepted int
+	TriageRejected int
 	// Partial is true when the run was cancelled: Labels may contain
 	// Unlabeled pairs, but every label present is consistent and every
 	// deduction implied by the collected answers has been applied.
@@ -507,8 +540,22 @@ func (j *Join) orderAndShard(numObjects int, pairs []Pair, st *streamState) ([]P
 	if len(order) != len(pairs) {
 		return nil, nil, fmt.Errorf("crowdjoin: ordering returned %d pairs for %d candidates", len(order), len(pairs))
 	}
+	if j.triage.Enabled() {
+		// Free machine evidence enters the deduction engine before any crowd
+		// question: accepted band first, then rejected, then uncertain.
+		order = triageOrder(order, j.triage)
+	}
 	if j.concurrency <= 1 {
 		return order, nil, nil
+	}
+	if j.triage.Enabled() {
+		// Shard by the thinned graph: machine-rejected edges cannot carry
+		// evidence across thinned components, so they do not connect shards
+		// (they thin and fragment the Paper@0.3 giant component). Streaming
+		// sessions take this route too — the incremental partitioner's
+		// forest is built over the full graph, not the thinned one.
+		pt, err := core.BuildTriagedPartition(numObjects, order, j.triage)
+		return order, pt, err
 	}
 	if st != nil && !st.weighted {
 		pt, err := st.ip.BuildShards(order)
@@ -547,6 +594,10 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 	j.streamMu.Lock()
 	st := j.stream
 	if st != nil {
+		if j.cascade != nil {
+			j.streamMu.Unlock()
+			return nil, errors.New("crowdjoin: WithCascade is incompatible with streaming sessions (Append)")
+		}
 		numObjects = st.idx.NumRecords()
 		arrivals = append([]int(nil), st.arrivals...)
 		var err error
@@ -557,6 +608,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		}
 	} else {
 		j.streamMu.Unlock()
+		if j.cascade != nil {
+			return j.runCascade(ctx)
+		}
 		numObjects = j.numObjects
 		pairs := j.pairs
 		if !j.havePairs {
@@ -577,9 +631,22 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		}
 	}
 
-	oracle, batch, platform := j.oracle, j.batch, j.platform
-	runCtx := ctx
-	var jrn *journalState
+	runCtx, cancel, jrn, err := j.journalFor(ctx, numObjects, st, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	return j.runOnce(runCtx, numObjects, order, pt, jrn)
+}
+
+// journalFor resolves the session journal for a Run: a file journal is
+// rewound (or the Run refused) when already consumed and re-opened, a
+// journal-less session falls back to the in-memory answer cache. With a
+// file journal the returned context cancels the run on journal write
+// failure, and the returned cancel func must be deferred by the caller.
+func (j *Join) journalFor(ctx context.Context, numObjects int, st *streamState, arrivals []int) (context.Context, context.CancelFunc, *journalState, error) {
 	if j.journal != nil {
 		if j.journalUsed {
 			// An earlier Run consumed the stream; re-reading from the
@@ -588,10 +655,10 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			// (appends still go to the end on O_APPEND files).
 			s, ok := j.journal.(io.Seeker)
 			if !ok {
-				return nil, errors.New("crowdjoin: journal stream already consumed by an earlier Run; reopen the journal (or use a seekable stream such as *os.File)")
+				return nil, nil, nil, errors.New("crowdjoin: journal stream already consumed by an earlier Run; reopen the journal (or use a seekable stream such as *os.File)")
 			}
 			if _, err := s.Seek(0, io.SeekStart); err != nil {
-				return nil, fmt.Errorf("crowdjoin: rewinding journal for re-Run: %w", err)
+				return nil, nil, nil, fmt.Errorf("crowdjoin: rewinding journal for re-Run: %w", err)
 			}
 		}
 		j.journalUsed = true
@@ -599,31 +666,37 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		if st != nil {
 			initialObjects = st.n0
 		}
-		var err error
-		jrn, err = openJournal(j.journal, initialObjects, arrivals)
+		jrn, err := openJournal(j.journal, initialObjects, arrivals)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		// A journal write failure cancels the run so no further answers are
 		// bought without being recorded; the driver then comes back with a
 		// consistent partial result.
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithCancel(ctx)
-		defer cancel()
+		runCtx, cancel := context.WithCancel(ctx)
 		jrn.onError = cancel
-	} else {
-		// No file journal: answers bought by earlier Runs of this session
-		// are cached in memory and replayed, so a re-Run — and in
-		// particular the finishing Run of a streaming join — never
-		// re-crowdsources a pair.
-		j.streamMu.Lock()
-		if j.mem == nil {
-			j.mem = newMemoryJournal(numObjects)
-		}
-		jrn = j.mem
-		j.streamMu.Unlock()
-		jrn.resetReplay()
+		return runCtx, cancel, jrn, nil
 	}
+	// No file journal: answers bought by earlier Runs of this session are
+	// cached in memory and replayed, so a re-Run — and in particular the
+	// finishing Run of a streaming join — never re-crowdsources a pair.
+	j.streamMu.Lock()
+	if j.mem == nil {
+		j.mem = newMemoryJournal(numObjects)
+	}
+	jrn := j.mem
+	j.streamMu.Unlock()
+	jrn.resetReplay()
+	return ctx, nil, jrn, nil
+}
+
+// runOnce drives the configured strategy over one ordered (and possibly
+// sharded) candidate set: it wraps the crowd backend in the journal layer,
+// then — outermost, so machine answers are never journaled — the triage
+// layer, runs the strategy, and consolidates the result. Run calls it once;
+// runCascade calls it per stage with a shared journal.
+func (j *Join) runOnce(runCtx context.Context, numObjects int, order []Pair, pt *core.Partition, jrn *journalState) (*JoinResult, error) {
+	oracle, batch, platform := j.oracle, j.batch, j.platform
 	if jrn != nil {
 		if oracle != nil {
 			oracle = &journalOracle{inner: oracle, jrn: jrn}
@@ -635,7 +708,22 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 			platform = &journalPlatform{inner: platform, jrn: jrn}
 		}
 	}
-	ro := core.RunOpts{Ctx: runCtx, Progress: j.progress}
+	progress := j.progress
+	var tri *triageState
+	if j.triage.Enabled() {
+		tri = newTriageState(j.triage, len(order))
+		if oracle != nil {
+			oracle = &triageOracle{inner: oracle, tri: tri}
+		}
+		if batch != nil {
+			batch = &triageBatchOracle{inner: batch, tri: tri}
+		}
+		if platform != nil {
+			platform = &triagePlatform{inner: platform, tri: tri}
+		}
+		progress = tri.progressFilter(progress)
+	}
+	ro := core.RunOpts{Ctx: runCtx, Progress: progress}
 	res := &JoinResult{NumObjects: numObjects, Order: order}
 	sharded := j.concurrency > 1
 	if sharded {
@@ -658,9 +746,12 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 	case strategyParallel:
 		var r *core.ParallelResult
 		var err error
-		if sharded {
+		switch {
+		case sharded && j.router == BalancedRouter:
+			r, err = core.LabelRoutedParallelRun(pt, batchOracleFrom(oracle, batch), j.concurrency, ro)
+		case sharded:
 			r, err = core.LabelPartitionedParallelRun(pt, batchOracleFrom(oracle, batch), j.concurrency, ro)
-		} else {
+		default:
 			r, err = core.LabelParallelRun(numObjects, order, batchOracleFrom(oracle, batch), ro)
 		}
 		runErr = err
@@ -709,6 +800,9 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 	default:
 		return nil, fmt.Errorf("crowdjoin: unknown strategy %v", j.strategy)
 	}
+	if tri != nil && res.Labels != nil {
+		tri.fill(res)
+	}
 	if jrn != nil {
 		res.Replayed = jrn.replayedCount()
 		if jrn.werr != nil {
@@ -728,6 +822,93 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 		}
 		res.Partial = true
 		return res, runErr
+	}
+	return res, nil
+}
+
+// cascadeThresholds returns the cascade's full descent ladder: the
+// configured thresholds, with the matcher's own threshold appended as the
+// implicit floor when the ladder stops above it.
+func (j *Join) cascadeThresholds() []float64 {
+	ts := j.cascade
+	if ts[len(ts)-1] > j.matcher.Threshold {
+		ts = append(append([]float64(nil), ts...), j.matcher.Threshold)
+	}
+	return ts
+}
+
+// runCascade executes the multi-threshold blocking cascade (WithCascade).
+// Stage 0 generates candidates at the highest threshold and joins them;
+// each later stage descends to the next threshold, generating only the new
+// similarity band [lo, prev) and only between record pairs not already
+// settled — a pair both of whose records were joined into an entity by an
+// earlier stage's Matching labels stops generating candidates, so the
+// candidate generator does less verification work at exactly the thresholds
+// where it would otherwise flood. Stages are cumulative: each re-runs the
+// join over every pair generated so far, with earlier stages' crowd answers
+// replayed from the shared session journal (file or in-memory), so a stage
+// pays crowd questions only for its own new band. The returned result is
+// the final stage's, covering the full accumulated candidate set.
+func (j *Join) runCascade(ctx context.Context) (*JoinResult, error) {
+	cs, err := j.matcher.newCascadeSession(j.texts, j.textsB, j.bipartite)
+	if err != nil {
+		return nil, err
+	}
+	numObjects := j.numObjects
+	runCtx, cancel, jrn, err := j.journalFor(ctx, numObjects, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+
+	thresholds := j.cascadeThresholds()
+	settled := make([]bool, numObjects)
+	var accum []Pair // every band generated so far, stale IDs
+	var res *JoinResult
+	hi := 2.0 // stage 0 has no upper band edge
+	for si, lo := range thresholds {
+		var keep func(a, b int32) bool
+		if si > 0 {
+			keep = func(a, b int32) bool { return !settled[a] || !settled[b] }
+		}
+		band, err := cs.band(lo, hi, keep)
+		if err != nil {
+			return nil, err
+		}
+		hi = lo
+		accum = append(accum, band...)
+		if len(band) == 0 && si < len(thresholds)-1 {
+			continue // nothing new; descend further before re-running
+		}
+		// Re-rank the accumulated set and hand it dense IDs: each stage is a
+		// complete join over everything generated so far.
+		stage := make([]Pair, len(accum))
+		copy(stage, accum)
+		sortPairsByLikelihood(stage)
+		for i := range stage {
+			stage[i].ID = i
+		}
+		order, pt, err := j.orderAndShard(numObjects, stage, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Each stage reports its own replay share; the final stage's count is
+		// every answer re-served from earlier stages (and any prior session).
+		jrn.resetReplay()
+		res, err = j.runOnce(runCtx, numObjects, order, pt, jrn)
+		if err != nil || res == nil {
+			return res, err
+		}
+		for i := range settled {
+			settled[i] = false
+		}
+		for _, p := range res.Order {
+			if res.Labels[p.ID] == Matching {
+				settled[p.A], settled[p.B] = true, true
+			}
+		}
 	}
 	return res, nil
 }

@@ -5,8 +5,10 @@
 # size-ordered positional prefix routes for both weightings, and the
 # full-index fallback; BenchmarkStreamingAppend tracks the Join.Append
 # marginal-cost criterion; BenchmarkServerThroughput tracks the join
-# server's cross-job HIT multiplexing, J concurrent jobs vs sequential)
-# and writes BENCH_core.json
+# server's cross-job HIT multiplexing, J concurrent jobs vs sequential;
+# BenchmarkGiantComponent tracks the balance-aware question router's
+# wall-clock win over largest-first component scheduling on Paper@0.3's
+# 94%-giant-component workload) and writes BENCH_core.json
 # (ns/op, B/op, allocs/op, and custom metrics per benchmark) so the perf
 # trajectory can be compared across PRs.
 #
@@ -29,7 +31,7 @@ if [ "${1:-}" = "--compare" ]; then
 	shift
 fi
 COUNT="${1:-1}"
-PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates|BenchmarkStreamingAppend|BenchmarkServerThroughput'
+PATTERN='BenchmarkSequentialLabeling|BenchmarkParallelLabeling|BenchmarkShardedParallelLabeling|BenchmarkCrowdsourceablePairs|BenchmarkWorldEnumeration|BenchmarkExpectedOptimalOrder|BenchmarkClusterGraph|BenchmarkCandidates|BenchmarkStreamingAppend|BenchmarkServerThroughput|BenchmarkGiantComponent'
 
 if [ "$MODE" = compare ]; then
 	go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . |

@@ -99,6 +99,9 @@ func (j *Join) appendBatch(texts []string, sides []uint8) (*AppendResult, error)
 	if !j.haveTexts {
 		return nil, errors.New("crowdjoin: Append requires a texts input (WithTexts or WithTextsAcross)")
 	}
+	if j.cascade != nil {
+		return nil, errors.New("crowdjoin: Append is incompatible with WithCascade (the cascade descends thresholds over a fixed input)")
+	}
 	j.streamMu.Lock()
 	defer j.streamMu.Unlock()
 	if j.stream == nil {

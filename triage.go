@@ -1,0 +1,343 @@
+package crowdjoin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crowdjoin/internal/core"
+)
+
+// Similarity-banded triage at the session level: WithTriage splits the
+// candidate band by the machine similarity the candidate generator already
+// computed. Pairs at or above the accept band are answered Matching by the
+// machine, pairs at or below the reject band answered NonMatching, and only
+// the uncertain band in between ever reaches the configured crowd backend.
+// Machine answers flow through the standard drivers exactly like crowd
+// answers — the deduction engine still arbitrates, and a banded pair that is
+// deduced before the driver would have asked it is simply never consulted —
+// but they are reported as EventPairTriaged instead of EventPairCrowdsourced,
+// excluded from NumCrowdsourced, and never journaled (they are deterministic
+// from the input and the bands, so a resumed session re-derives them for
+// free).
+
+// TriageBands re-exports the band configuration (see WithTriage).
+type TriageBands = core.TriageBands
+
+// WithTriage enables similarity-banded triage: pairs with likelihood ≥
+// acceptAbove are machine-labeled Matching, pairs ≤ rejectBelow are
+// machine-labeled NonMatching, and only the band in between is
+// crowdsourced. Pass rejectBelow = 0 for accept-only triage (no candidate
+// has likelihood ≤ 0). Requires 0 ≤ rejectBelow < acceptAbove ≤ 1;
+// incompatible with BudgetStrategy (the budget meters crowd questions, and
+// machine answers would consume it).
+func WithTriage(acceptAbove, rejectBelow float64) JoinOption {
+	return func(j *Join) {
+		b := core.TriageBands{AcceptAbove: acceptAbove, RejectBelow: rejectBelow}
+		if !b.Enabled() {
+			j.setErr(errors.New("crowdjoin: WithTriage(0, 0) configures no bands; omit the option to disable triage"))
+			return
+		}
+		if err := b.Validate(); err != nil {
+			j.setErr(fmt.Errorf("crowdjoin: WithTriage: want 0 <= rejectBelow < acceptAbove <= 1, got accept above %v, reject below %v", acceptAbove, rejectBelow))
+			return
+		}
+		j.triage = b
+	}
+}
+
+// Router selects how a component-sharded session schedules its shards'
+// crowd work (see WithRouter).
+type Router uint8
+
+const (
+	// LargestFirstRouter is the default: k whole-component workers, largest
+	// components first. Exactly the scheduling every release so far used.
+	LargestFirstRouter Router = iota
+	// BalancedRouter models the crowd as k concurrent workers answering one
+	// question at a time and stride-schedules every shard's published rounds
+	// across them, weighting each shard's share by its remaining-unlabeled
+	// pairs. A giant component's big rounds spread over all k workers while
+	// small components' instant decisions overlap its crowd latency instead
+	// of queueing behind it. Labels and crowd cost are identical to
+	// LargestFirstRouter for order-independent crowds.
+	BalancedRouter
+)
+
+// String implements fmt.Stringer.
+func (r Router) String() string {
+	switch r {
+	case LargestFirstRouter:
+		return "largest-first"
+	case BalancedRouter:
+		return "balanced"
+	default:
+		return "Router(?)"
+	}
+}
+
+// WithRouter selects the crowd router for component-sharded sessions
+// (default LargestFirstRouter). BalancedRouter requires ParallelStrategy
+// with WithConcurrency > 1 — it reschedules parallel rounds across modeled
+// crowd workers, which has no meaning for an unsharded or non-round-based
+// session.
+func WithRouter(r Router) JoinOption {
+	return func(j *Join) {
+		if r != LargestFirstRouter && r != BalancedRouter {
+			j.setErr(fmt.Errorf("crowdjoin: WithRouter(%d): unknown router", r))
+			return
+		}
+		j.router = r
+	}
+}
+
+// WithCascade enables the multi-threshold blocking cascade: candidates are
+// generated at thresholds[0] first and the join runs over that band; then,
+// for each further (strictly descending) threshold, candidate generation
+// descends only inside still-unresolved clusters — records already settled
+// into an entity (joined by a Matching label) stop generating new candidate
+// pairs — and the join re-runs over the accumulated band. The session's
+// matcher threshold is the final floor: if thresholds ends above it, it is
+// descended to implicitly. Earlier stages' crowd answers replay from the
+// session journal, so each stage pays only for its new band.
+//
+// Requires WithTexts or WithTextsAcross (the cascade drives candidate
+// generation, so precomputed WithPairs input has nothing to cascade);
+// incompatible with BudgetStrategy and with streaming sessions (Append).
+func WithCascade(thresholds ...float64) JoinOption {
+	return func(j *Join) {
+		if len(thresholds) == 0 {
+			j.setErr(errors.New("crowdjoin: WithCascade requires at least one threshold"))
+			return
+		}
+		prev := 1.0001
+		for _, t := range thresholds {
+			if t <= 0 || t > 1 {
+				j.setErr(fmt.Errorf("crowdjoin: WithCascade threshold %v outside (0,1]", t))
+				return
+			}
+			if t >= prev {
+				j.setErr(fmt.Errorf("crowdjoin: WithCascade thresholds must be strictly descending, got %v", thresholds))
+				return
+			}
+			prev = t
+		}
+		j.cascade = append([]float64(nil), thresholds...)
+	}
+}
+
+// triageState tracks, for one Run, which pairs the machine answered. The
+// wrappers below mark pairs as they answer them; the Run's progress filter
+// rewrites the driver's EventPairCrowdsourced into EventPairTriaged for
+// marked pairs, and fill reconciles the result counters at the end.
+type triageState struct {
+	bands core.TriageBands
+	mu    sync.Mutex
+	// marked[id] is set once the machine has answered pair id in place of
+	// the crowd. The driver may still discard that answer (cancellation, a
+	// misbehaving sibling oracle in the same batch), so the result-facing
+	// Triaged flag is marked ∧ recorded-by-the-driver.
+	marked []bool
+}
+
+func newTriageState(bands core.TriageBands, numPairs int) *triageState {
+	return &triageState{bands: bands, marked: make([]bool, numPairs)}
+}
+
+// answer consults the bands for p. ok reports that the machine answered;
+// the pair is marked so the progress filter and fill can attribute it.
+func (t *triageState) answer(p Pair) (Label, bool) {
+	l := t.bands.Classify(p.Likelihood)
+	if l == Unlabeled {
+		return l, false
+	}
+	t.mu.Lock()
+	t.marked[p.ID] = true
+	t.mu.Unlock()
+	return l, true
+}
+
+func (t *triageState) isMarked(id int) bool {
+	t.mu.Lock()
+	m := t.marked[id]
+	t.mu.Unlock()
+	return m
+}
+
+// progressFilter wraps a session progress callback: driver events for
+// machine-answered pairs surface as EventPairTriaged. The driver emits
+// EventPairCrowdsourced precisely when it records an answer, so the
+// translated stream matches the final Triaged flags one to one.
+func (t *triageState) progressFilter(inner func(Event)) func(Event) {
+	if inner == nil {
+		return nil
+	}
+	return func(e Event) {
+		if e.Kind == core.EventPairCrowdsourced && t.isMarked(e.Pair.ID) {
+			e.Kind = core.EventPairTriaged
+		}
+		inner(e)
+	}
+}
+
+// fill reconciles the run result: machine-answered pairs leave the
+// crowdsourced ledger and land in Triaged/TriageAccepted/TriageRejected.
+// The machine's answer is deterministic from the likelihood, so the
+// accept/reject split is re-derived from the order rather than tracked.
+func (t *triageState) fill(res *JoinResult) {
+	tr := make([]bool, len(res.Order))
+	t.mu.Lock()
+	for _, p := range res.Order {
+		if t.marked[p.ID] && res.Crowdsourced != nil && res.Crowdsourced[p.ID] {
+			tr[p.ID] = true
+			res.Crowdsourced[p.ID] = false
+			res.NumCrowdsourced--
+			if t.bands.Classify(p.Likelihood) == Matching {
+				res.TriageAccepted++
+			} else {
+				res.TriageRejected++
+			}
+		}
+	}
+	t.mu.Unlock()
+	res.Triaged = tr
+}
+
+// triageOracle answers banded pairs from the machine score; the uncertain
+// band goes to the inner (journal-wrapped) crowd. Triage wraps outside the
+// journal so machine answers are never journaled.
+type triageOracle struct {
+	inner Oracle
+	tri   *triageState
+}
+
+// Label implements Oracle.
+func (o *triageOracle) Label(p Pair) Label {
+	if l, ok := o.tri.answer(p); ok {
+		return l
+	}
+	return o.inner.Label(p)
+}
+
+// triageBatchOracle answers the banded part of each round from the machine
+// and asks the inner crowd only for the uncertain rest.
+type triageBatchOracle struct {
+	inner BatchOracle
+	tri   *triageState
+}
+
+// LabelBatch implements BatchOracle.
+func (o *triageBatchOracle) LabelBatch(ps []Pair) []Label {
+	out := make([]Label, len(ps))
+	var miss []Pair
+	var missIdx []int
+	for i, p := range ps {
+		if l, ok := o.tri.answer(p); ok {
+			out[i] = l
+		} else {
+			miss = append(miss, p)
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	ans := o.inner.LabelBatch(miss)
+	if len(ans) != len(miss) {
+		// Same collapse rule as the journal wrapper: surface the inner
+		// oracle's wrong-length answer with its real count, except when that
+		// count happens to equal the full batch size — which would pass the
+		// driver's length check misaligned — where it collapses to empty.
+		if len(ans) == len(ps) {
+			return nil
+		}
+		return ans
+	}
+	for k, i := range missIdx {
+		out[i] = ans[k]
+	}
+	return out
+}
+
+// triagePlatform serves banded published pairs from an internal FIFO
+// without them ever reaching the real platform.
+type triagePlatform struct {
+	inner Platform
+	tri   *triageState
+	// ready holds machine answers for published pairs; head indexes the
+	// next one to serve.
+	ready       []Pair
+	readyLabels []Label
+	head        int
+}
+
+// Publish implements Platform. The FIFO is compacted in place before
+// appending, like the journal platform's replay FIFO.
+func (tp *triagePlatform) Publish(ps []Pair) {
+	if tp.head > 0 {
+		n := copy(tp.ready, tp.ready[tp.head:])
+		tp.ready = tp.ready[:n]
+		copy(tp.readyLabels, tp.readyLabels[tp.head:])
+		tp.readyLabels = tp.readyLabels[:n]
+		tp.head = 0
+	}
+	var fwd []Pair
+	for _, p := range ps {
+		if l, ok := tp.tri.answer(p); ok {
+			tp.ready = append(tp.ready, p)
+			tp.readyLabels = append(tp.readyLabels, l)
+		} else {
+			fwd = append(fwd, p)
+		}
+	}
+	if len(fwd) > 0 {
+		tp.inner.Publish(fwd)
+	}
+}
+
+// NextLabel implements Platform: machine answers drain first, in publish
+// order, then the real platform is consulted.
+func (tp *triagePlatform) NextLabel() (Pair, Label, bool) {
+	if tp.head < len(tp.ready) {
+		p, l := tp.ready[tp.head], tp.readyLabels[tp.head]
+		tp.head++
+		if tp.head == len(tp.ready) {
+			tp.ready = tp.ready[:0]
+			tp.readyLabels = tp.readyLabels[:0]
+			tp.head = 0
+		}
+		return p, l, true
+	}
+	return tp.inner.NextLabel()
+}
+
+// Available implements Platform.
+func (tp *triagePlatform) Available() int {
+	return len(tp.ready) - tp.head + tp.inner.Available()
+}
+
+// triageOrder reorders a labeling order for an enabled triage: machine-
+// accepted pairs first, then machine-rejected, then the uncertain band,
+// each sub-band keeping the configured ordering's relative order. The free
+// machine evidence enters the deduction engine before any crowd question is
+// asked, so the uncertain band starts from the densest possible cluster
+// graph. Allocates a fresh slice — orderings may return their input.
+func triageOrder(order []Pair, bands core.TriageBands) []Pair {
+	out := make([]Pair, 0, len(order))
+	for _, p := range order {
+		if bands.Classify(p.Likelihood) == Matching {
+			out = append(out, p)
+		}
+	}
+	for _, p := range order {
+		if bands.Classify(p.Likelihood) == NonMatching {
+			out = append(out, p)
+		}
+	}
+	for _, p := range order {
+		if bands.Classify(p.Likelihood) == Unlabeled {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Command crowdjoinvet is the repo's own vet suite: five analyzers that
+// machine-check the invariants prose alone kept failing to enforce —
+// deterministic iteration in the deduction core, guarded-by locking
+// discipline, the journal's crowd-only write surface, context threading
+// through the labeling drivers, and sync.Pool hygiene.
+//
+// Two ways to run it:
+//
+//	go vet -vettool=$(which crowdjoinvet) ./...   # the unitchecker protocol
+//	crowdjoinvet ./...                            # re-execs go vet for you
+//
+// Individual checks toggle like any vet flag: crowdjoinvet -maporder=false ./...
+// CI builds it once and runs it as a required step; see scripts/lint.sh.
+package main
+
+import (
+	"crowdjoin/internal/vet/analyzers/ctxflow"
+	"crowdjoin/internal/vet/analyzers/journalsurface"
+	"crowdjoin/internal/vet/analyzers/lockguard"
+	"crowdjoin/internal/vet/analyzers/maporder"
+	"crowdjoin/internal/vet/analyzers/poolleak"
+	"crowdjoin/internal/vet/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		maporder.Analyzer,
+		lockguard.Analyzer,
+		journalsurface.Analyzer,
+		ctxflow.Analyzer,
+		poolleak.Analyzer,
+	)
+}

@@ -68,6 +68,7 @@ func runLegacy(numObjects int, order []Pair, opts ...JoinOption) (*JoinResult, e
 	if err != nil {
 		return nil, err
 	}
+	//crowdjoin:ctxbackground deprecated pre-Join shim; callers wanting cancellation use NewJoin + Run(ctx)
 	return j.Run(context.Background())
 }
 

@@ -44,11 +44,15 @@ type questionRouter struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// queue holds rounds with undispatched questions; live holds every
-	// incomplete round (shutdown must release their waiters).
-	queue  []*routedRound
-	live   map[*routedRound]struct{}
-	pass   []float64 // per-shard stride pass: pick min, advance by 1/weight
-	closed bool
+	// incomplete round in submission order (shutdown must release their
+	// waiters, and does so in that order — a map here once randomized it).
+	queue  []*routedRound // guarded by mu
+	live   []*routedRound // guarded by mu
+	pass   []float64      // guarded by mu; per-shard stride pass: pick min, advance by 1/weight
+	closed bool           // guarded by mu
+	// onSettle, when non-nil, observes each settled round in settle order.
+	// Test seam for pinning shutdown's settle order; nil in production.
+	onSettle func(*routedRound)
 	// remaining is the per-shard unlabeled-pair count, the stride weight.
 	// Shard goroutines decrement it from their progress hooks; workers read
 	// it without the router lock.
@@ -58,7 +62,6 @@ type questionRouter struct {
 func newQuestionRouter(inner BatchOracle, shards int) *questionRouter {
 	r := &questionRouter{
 		inner:     inner,
-		live:      make(map[*routedRound]struct{}),
 		pass:      make([]float64, shards),
 		remaining: make([]atomic.Int64, shards),
 	}
@@ -72,7 +75,15 @@ func (r *questionRouter) settleLocked(rd *routedRound) {
 		return
 	}
 	rd.settled = true
-	delete(r.live, rd)
+	for i, l := range r.live {
+		if l == rd {
+			r.live = append(r.live[:i], r.live[i+1:]...)
+			break
+		}
+	}
+	if r.onSettle != nil {
+		r.onSettle(rd)
+	}
 	close(rd.ready)
 }
 
@@ -85,7 +96,7 @@ func (r *questionRouter) submit(rd *routedRound) []Label {
 		r.mu.Unlock()
 		return nil
 	}
-	r.live[rd] = struct{}{}
+	r.live = append(r.live, rd)
 	r.queue = append(r.queue, rd)
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -152,7 +163,10 @@ func (r *questionRouter) shutdown() {
 	r.mu.Lock()
 	r.closed = true
 	r.queue = nil
-	for rd := range r.live {
+	// Settle in submission order: settleLocked removes from r.live, so walk
+	// a snapshot. Deterministic release order keeps waiter wakeups (and any
+	// onSettle observer) reproducible run to run.
+	for _, rd := range append([]*routedRound(nil), r.live...) {
 		rd.short = true
 		r.settleLocked(rd)
 	}
@@ -192,11 +206,7 @@ func LabelRoutedParallelRun(pt *Partition, oracle BatchOracle, k int, ro RunOpts
 	if k < 1 {
 		k = 1
 	}
-	ctx := ro.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ctx, cancel := context.WithCancel(ctx)
+	ctx, cancel := context.WithCancel(ro.context())
 	defer cancel()
 
 	r := newQuestionRouter(oracle, len(pt.Shards))

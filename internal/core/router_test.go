@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingBatchOracle never answers: rounds submitted against it stay live
+// until shutdown cuts them off.
+type blockingBatchOracle struct {
+	stop chan struct{}
+}
+
+func (o *blockingBatchOracle) LabelBatch(ps []Pair) []Label {
+	<-o.stop
+	return nil
+}
+
+// TestRouterShutdownSettleOrder pins the determinism fix for the router's
+// live set: shutdown must release waiting rounds in submission order. The
+// live set was once a map, so this order was randomized per run; the
+// onSettle seam observes the exact sequence settleLocked walks.
+func TestRouterShutdownSettleOrder(t *testing.T) {
+	const n = 8
+	oracle := &blockingBatchOracle{stop: make(chan struct{})}
+	defer close(oracle.stop)
+	r := newQuestionRouter(oracle, n)
+
+	var settleMu sync.Mutex
+	var settled []int
+	r.onSettle = func(rd *routedRound) {
+		settleMu.Lock()
+		settled = append(settled, rd.shard)
+		settleMu.Unlock()
+	}
+
+	// Submit n one-pair rounds in a fixed order, each from its own
+	// goroutine (submit blocks until settled). No workers run, so every
+	// round stays queued and live.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		rd := &routedRound{
+			shard:   i,
+			pairs:   []Pair{{ID: 0, A: 0, B: 1}},
+			answers: make([]Label, 1),
+			ready:   make(chan struct{}),
+		}
+		r.mu.Lock()
+		wasLive := len(r.live)
+		r.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := r.submit(rd); got != nil {
+				t.Errorf("shard %d: submit returned %v after shutdown, want nil", rd.shard, got)
+			}
+		}()
+		// Wait for this round to register before submitting the next, so
+		// the submission order is exactly 0..n-1.
+		for {
+			r.mu.Lock()
+			nowLive := len(r.live)
+			r.mu.Unlock()
+			if nowLive > wasLive {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The live list itself must be in submission order.
+	r.mu.Lock()
+	for i, rd := range r.live {
+		if rd.shard != i {
+			t.Errorf("live[%d] is shard %d, want %d", i, rd.shard, i)
+		}
+	}
+	r.mu.Unlock()
+
+	r.shutdown()
+	wg.Wait()
+
+	if len(settled) != n {
+		t.Fatalf("settled %d rounds, want %d", len(settled), n)
+	}
+	for i, shard := range settled {
+		if shard != i {
+			t.Fatalf("settle order %v: position %d is shard %d, want %d (shutdown must settle in submission order)", settled, i, shard, i)
+		}
+	}
+}
+
+// TestRouterSettleRemovesInOrder checks that worker-side settles (rounds
+// completing out of submission order) keep the remaining live list in
+// submission order.
+func TestRouterSettleRemovesInOrder(t *testing.T) {
+	r := newQuestionRouter(nil, 4)
+	rounds := make([]*routedRound, 4)
+	for i := range rounds {
+		rounds[i] = &routedRound{shard: i, ready: make(chan struct{})}
+		r.live = append(r.live, rounds[i])
+	}
+	r.mu.Lock()
+	r.settleLocked(rounds[2])
+	r.mu.Unlock()
+	want := []int{0, 1, 3}
+	if len(r.live) != len(want) {
+		t.Fatalf("live has %d rounds, want %d", len(r.live), len(want))
+	}
+	for i, rd := range r.live {
+		if rd.shard != want[i] {
+			t.Fatalf("live[%d] is shard %d, want %d", i, rd.shard, want[i])
+		}
+	}
+	// Settling twice is a no-op (ready closes once).
+	r.mu.Lock()
+	r.settleLocked(rounds[2])
+	r.mu.Unlock()
+}

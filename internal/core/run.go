@@ -109,6 +109,18 @@ type RunOpts struct {
 	Progress func(Event)
 }
 
+// context returns the run's context, defaulting to the never-cancelled
+// root for zero-value RunOpts. Drivers needing a real context (WithCancel,
+// AfterFunc) use this instead of rooting their own, so ctxflow can pin
+// the repo's only sanctioned interior fallback to this one line.
+func (o RunOpts) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	//crowdjoin:ctxbackground the documented zero-value RunOpts contract: no Ctx means never cancelled
+	return context.Background()
+}
+
 // err returns the context's error, if a context is set and cancelled.
 func (o RunOpts) err() error {
 	if o.Ctx == nil {

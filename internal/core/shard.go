@@ -202,11 +202,7 @@ func (o shardBatchOracle) LabelBatch(ps []Pair) []Label {
 // stop consulting the crowd; the lowest-numbered failure is returned for
 // determinism.
 func runShards(pt *Partition, k int, ro RunOpts, fn func(s *Shard, ro RunOpts) error) error {
-	ctx := ro.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ctx, cancel := context.WithCancel(ctx)
+	ctx, cancel := context.WithCancel(ro.context())
 	defer cancel()
 
 	byLoad := make([]int, len(pt.Shards))

@@ -70,6 +70,7 @@ func (e *Env) TriageCurve() (*TriageCurveResult, error) {
 		if err != nil {
 			return metrics.Quality{}, 0, err
 		}
+		//crowdjoin:ctxbackground offline experiment harness, run to completion by design
 		res, err := j.Run(context.Background())
 		if err != nil {
 			return metrics.Quality{}, 0, err

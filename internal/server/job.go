@@ -107,17 +107,17 @@ type job struct {
 	done    chan struct{} // closed when the runner exits
 
 	mu     sync.Mutex
-	state  string
-	errMsg string
+	state  string // guarded by mu
+	errMsg string // guarded by mu
 	// texts is the full record corpus (source A then source B, then
 	// appended batches) — cluster membership resolves through it.
-	texts  []string
-	stats  JobStatus // only the counter fields are kept current
-	result *ResultPayload
+	texts  []string       // guarded by mu
+	stats  JobStatus      // guarded by mu; only the counter fields are kept current
+	result *ResultPayload // guarded by mu
 	// streaming intake: handlers append acknowledged batches here and
 	// kick the runner; finalSeen flips once a final batch is accepted.
-	pending   []batchLine
-	finalSeen bool
+	pending   []batchLine // guarded by mu
+	finalSeen bool        // guarded by mu
 	kick      chan struct{}
 	// batchMu serializes persist+queue per batch, so the batch log's order
 	// is exactly the order the session integrated — the order a resumed

@@ -24,9 +24,9 @@ type scheduler struct {
 	// ring holds the jobs that currently have undispatched questions, in
 	// round-robin order; a worker pops one question from the front job and
 	// rotates it to the back.
-	ring   []*jobPlatform
-	closed bool
-	asked  int // questions dispatched to workers, lifetime
+	ring   []*jobPlatform // guarded by mu
+	closed bool           // guarded by mu
+	asked  int            // guarded by mu; questions dispatched to workers, lifetime
 
 	wg sync.WaitGroup
 }
@@ -131,9 +131,9 @@ type jobPlatform struct {
 
 	mu          sync.Mutex
 	inboxCond   *sync.Cond
-	inbox       []answered
-	outstanding int  // published − handed to the driver
-	woken       bool // job context cancelled: NextLabel must not block
+	inbox       []answered // guarded by mu
+	outstanding int        // guarded by mu; published − handed to the driver
+	woken       bool       // guarded by mu; job context cancelled: NextLabel must not block
 }
 
 type answered struct {

@@ -81,6 +81,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	//crowdjoin:ctxbackground the server owns its lifetime; baseCtx is cancelled by Close, not a caller
 	baseCtx, stop := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:     cfg,

@@ -39,10 +39,10 @@ type TenantLimits struct {
 
 // Usage is one tenant's accounting snapshot (GET /tenants/{id}/usage).
 type Usage struct {
-	Tenant         string       `json:"tenant"`
-	ActiveJobs     int          `json:"active_jobs"`
-	TotalJobs      int          `json:"total_jobs"`
-	QuestionsAsked int          `json:"questions_asked"`
+	Tenant         string `json:"tenant"`
+	ActiveJobs     int    `json:"active_jobs"`
+	TotalJobs      int    `json:"total_jobs"`
+	QuestionsAsked int    `json:"questions_asked"`
 	// QuestionsReplayed counts crowd answers served from job journals —
 	// questions that cost nothing because an earlier run already paid for
 	// them.
@@ -57,9 +57,9 @@ type accounts struct {
 	overrides map[string]TenantLimits
 
 	mu sync.Mutex
-	m  map[string]*tenantAcct
+	m  map[string]*tenantAcct // guarded by mu
 
-	now   func() time.Time               // test hook
+	now   func() time.Time                           // test hook
 	sleep func(context.Context, time.Duration) error // test hook
 }
 
@@ -92,9 +92,9 @@ func newAccounts(defaults TenantLimits, overrides map[string]TenantLimits) *acco
 	}
 }
 
-// acct returns the tenant's record, creating it on first sight. Callers
-// hold a.mu.
-func (a *accounts) acct(tenant string) *tenantAcct {
+// acctLocked returns the tenant's record, creating it on first sight.
+// Callers hold a.mu.
+func (a *accounts) acctLocked(tenant string) *tenantAcct {
 	t := a.m[tenant]
 	if t == nil {
 		lim, ok := a.overrides[tenant]
@@ -124,7 +124,7 @@ func burst(lim TenantLimits) int {
 func (a *accounts) admit(tenant string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	t := a.acct(tenant)
+	t := a.acctLocked(tenant)
 	if t.limits.MaxActiveJobs > 0 && t.active >= t.limits.MaxActiveJobs {
 		return fmt.Errorf("%w (%d active)", ErrTooManyJobs, t.active)
 	}
@@ -138,7 +138,7 @@ func (a *accounts) admit(tenant string) error {
 func (a *accounts) adopt(tenant string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	t := a.acct(tenant)
+	t := a.acctLocked(tenant)
 	t.active++
 	t.total++
 }
@@ -147,7 +147,7 @@ func (a *accounts) adopt(tenant string) {
 func (a *accounts) release(tenant string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.acct(tenant).active--
+	a.acctLocked(tenant).active--
 }
 
 // reserve charges the tenant for n crowd questions, blocking on the rate
@@ -157,7 +157,7 @@ func (a *accounts) release(tenant string) {
 func (a *accounts) reserve(ctx context.Context, tenant string, n int) error {
 	for {
 		a.mu.Lock()
-		t := a.acct(tenant)
+		t := a.acctLocked(tenant)
 		if t.limits.QuestionBudget > 0 && t.asked+n > t.limits.QuestionBudget {
 			asked := t.asked
 			a.mu.Unlock()
@@ -199,14 +199,14 @@ func (a *accounts) noteReplayed(tenant string, n int) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.acct(tenant).replayed += n
+	a.acctLocked(tenant).replayed += n
 }
 
 // usage snapshots one tenant.
 func (a *accounts) usage(tenant string) Usage {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	t := a.acct(tenant)
+	t := a.acctLocked(tenant)
 	u := Usage{
 		Tenant:            tenant,
 		ActiveJobs:        t.active,

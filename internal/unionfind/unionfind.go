@@ -209,6 +209,7 @@ func (u *UF) Clusters() [][]int32 {
 		byRoot[r] = append(byRoot[r], int32(i))
 	}
 	out := make([][]int32, 0, len(byRoot))
+	//crowdjoin:orderinvariant fold order is erased by the sort-by-smallest-member below
 	for _, members := range byRoot {
 		out = append(out, members)
 	}

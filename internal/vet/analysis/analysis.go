@@ -1,0 +1,105 @@
+// Package analysis is a minimal, dependency-free re-statement of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// sized for this repo's own vet suite (cmd/crowdjoinvet). The container
+// this repo builds in has no module proxy access, so vendoring x/tools is
+// not an option; the five crowdjoinvet analyzers need only the core
+// contract (parsed+typechecked files in, position-tagged diagnostics out),
+// which fits in a page. Drivers live next door: internal/vet/unitchecker
+// speaks the `go vet -vettool` protocol, internal/vet/analysistest runs
+// testdata suites.
+//
+// Deliberately omitted from the x/tools surface: facts (no crowdjoinvet
+// analyzer needs cross-package state), Requires/ResultOf (no analyzer
+// depends on another), and per-analyzer flag sets (the suite is all-on;
+// `-<name>=false` bool flags are handled by the unitchecker driver).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and as its -<name>
+	// enable/disable flag. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the result value is unused by this driver (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer and one package being
+// analyzed: the syntax, the type information, and the report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The crowdjoinvet analyzers enforce production invariants; tests poke
+// internals on purpose (and `go vet ./...` analyzes test variants too), so
+// every analyzer in the suite skips test files.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// Validate checks the analyzer list for driver use: non-empty valid names,
+// no duplicates, Run set.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" || strings.ContainsAny(a.Name, " \t\n=-") {
+			return fmt.Errorf("analysis: invalid analyzer name %q", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has no Run", a.Name)
+		}
+	}
+	return nil
+}
+
+// DeterminismCritical reports whether pkgPath is one of the packages whose
+// iteration order feeds byte-identical differential pins (the exhaustive
+// reference diffs of candgen, the sharded-vs-unsharded label equality of
+// core, the facade's resume contract): the root facade, the deduction
+// core, candidate generation, the cluster graph, and the union-find.
+// maporder flags map ranges only inside these.
+func DeterminismCritical(pkgPath string) bool {
+	switch pkgPath {
+	case "crowdjoin",
+		"crowdjoin/internal/core",
+		"crowdjoin/internal/candgen",
+		"crowdjoin/internal/clustergraph",
+		"crowdjoin/internal/unionfind":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //crowdjoin: directive family is the escape hatch the crowdjoinvet
+// analyzers honor. Every directive carries a mandatory justification after
+// the name — an unexplained exemption is itself a finding. The names:
+//
+//	//crowdjoin:orderinvariant <why>  — maporder: this map range is
+//	    order-invariant (commutative fold, or feeds a sort).
+//	//crowdjoin:ctxbackground <why>   — ctxflow: this context.Background/
+//	    TODO call is a sanctioned root (API compat shim, server base ctx).
+//	//crowdjoin:lockheld <why>        — lockguard: the whole function runs
+//	    with the relevant mutexes held by its callers (alternative to the
+//	    fooLocked naming convention).
+//	//crowdjoin:poolcarry <why>       — poolleak: this acquisition
+//	    intentionally outlives the function (a later call returns it).
+//
+// A directive binds to the source line it sits on (trailing comment) or to
+// the line directly below it (preceding comment line), matching how gofmt
+// keeps comments attached to statements.
+
+// Directive is one parsed //crowdjoin:<name> comment.
+type Directive struct {
+	Name          string
+	Justification string
+	Pos           token.Pos
+}
+
+const directivePrefix = "//crowdjoin:"
+
+// FileDirectives indexes a file's //crowdjoin: directives by the source
+// line they govern.
+type FileDirectives struct {
+	fset *token.FileSet
+	// byLine maps a governed line number to the directives binding to it.
+	byLine map[int][]Directive
+}
+
+// Directives parses every //crowdjoin: comment in f. Directives are
+// line-exact comments (no leading space after //), the same lexical form
+// as //go:build.
+func Directives(fset *token.FileSet, f *ast.File) *FileDirectives {
+	fd := &FileDirectives{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, just, _ := strings.Cut(text, " ")
+			d := Directive{Name: name, Justification: strings.TrimSpace(just), Pos: c.Pos()}
+			line := fset.Position(c.Pos()).Line
+			// The directive governs its own line (trailing-comment form) and
+			// the next line (preceding-comment form).
+			fd.byLine[line] = append(fd.byLine[line], d)
+			fd.byLine[line+1] = append(fd.byLine[line+1], d)
+		}
+	}
+	return fd
+}
+
+// At returns the named directive governing the line of pos, if any.
+func (fd *FileDirectives) At(name string, pos token.Pos) (Directive, bool) {
+	line := fd.fset.Position(pos).Line
+	for _, d := range fd.byLine[line] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

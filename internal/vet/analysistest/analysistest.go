@@ -1,0 +1,259 @@
+// Package analysistest runs an internal/vet/analysis analyzer over a
+// directory of test sources and checks its diagnostics against `// want`
+// expectations, the same contract as golang.org/x/tools/go/analysis/
+// analysistest (std-lib-only; see internal/vet/analysis for why).
+//
+// Layout: each case is one directory of .go files forming a single
+// package, conventionally testdata/src/<case>/. The files must typecheck;
+// they may import the standard library only (export data is resolved by
+// shelling out to `go list -export`, which the test environment — the go
+// toolchain — always has). The caller names the package path the analyzer
+// should see, so a case can impersonate a determinism-critical package
+// ("crowdjoin/internal/core") or a neutral one.
+//
+// Expectations: a comment `// want "re1" "re2"` (double-quoted or
+// backquoted Go strings) on a source line demands that the analyzer
+// report, on that line, one diagnostic matching each pattern, in any
+// order. Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// exportCache maps package paths to their compiled export-data files,
+// filled lazily by `go list -deps -export` and shared across cases (the
+// std packages testdata imports are few and repeat).
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// exportFiles resolves export data for paths (and their dependency
+// closure), consulting the cache first.
+func exportFiles(paths []string) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" {
+			continue
+		}
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		var errb bytes.Buffer
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(missing, " "), err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding go list output: %v", err)
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	files := make(map[string]string, len(exportCache))
+	for k, v := range exportCache {
+		files[k] = v
+	}
+	return files, nil
+}
+
+// Run analyzes the single package in dir under the given package path and
+// reports expectation mismatches as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no .go files in %s", dir)
+	}
+
+	exports, err := exportFiles(imports)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: testdata in %s does not typecheck: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				k := key{filename, fset.Position(c.Pos()).Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", filename, k.line, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	unmatched := make(map[key][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		ws := wants[k]
+		matched := false
+		for i, re := range ws {
+			if re.MatchString(d.Message) {
+				wants[k] = append(ws[:i:i], ws[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unmatched[k] = append(unmatched[k], d.Message)
+		}
+	}
+	var lines []string
+	for k, msgs := range unmatched {
+		for _, m := range msgs {
+			lines = append(lines, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m))
+		}
+	}
+	for k, ws := range wants {
+		for _, re := range ws {
+			lines = append(lines, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		t.Error(l)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// parseWant extracts the quoted patterns of a `// want "..." `...“ comment.
+func parseWant(comment string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, false
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, false
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, false
+		}
+		patterns = append(patterns, s)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return patterns, len(patterns) > 0
+}

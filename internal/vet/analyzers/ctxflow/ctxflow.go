@@ -1,0 +1,151 @@
+// Package ctxflow machine-checks the repo's cancellation contract.
+//
+// Two rules:
+//
+//  1. context.Background() and context.TODO() are banned outside cmd/,
+//     examples/, and test files. Everything between the facade's Run(ctx)
+//     and the labeling drivers must thread the caller's context — a
+//     fresh root context on an interior path silently detaches that path
+//     from session cancellation (the partial-result contract of PR 3
+//     depends on drivers seeing the real ctx). Interior roots that are
+//     genuinely sanctioned — the deprecated free-function shims, the
+//     server's base context, the RunOpts nil-Ctx fallback — carry a
+//     `//crowdjoin:ctxbackground <why>` annotation.
+//
+//  2. Every labeling driver in crowdjoin/internal/core — a function whose
+//     name ends in "Run" taking a RunOpts parameter — must actually
+//     thread RunOpts.Ctx: select .Ctx on it, or hand the whole RunOpts on
+//     (method calls like ro.err() and passing ro to a callee both
+//     count). A driver that drops its RunOpts, or touches only
+//     non-context fields like Progress, runs uncancellable and is
+//     flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "ban context.Background/TODO outside cmd//examples//tests and require *Run drivers to thread RunOpts.Ctx",
+	Run:  run,
+}
+
+// rootExempt reports whether pkgPath may create root contexts freely.
+func rootExempt(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "crowdjoin/cmd/") ||
+		strings.HasPrefix(pkgPath, "crowdjoin/examples/")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	banRoots := !rootExempt(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		dirs := analysis.Directives(pass.Fset, f)
+		if banRoots {
+			checkRootContexts(pass, f, dirs)
+		}
+		if pass.Pkg.Path() == "crowdjoin/internal/core" {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkRunDriver(pass, fd)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkRootContexts flags context.Background()/TODO() calls without a
+// ctxbackground annotation.
+func checkRootContexts(pass *analysis.Pass, f *ast.File, dirs *analysis.FileDirectives) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if d, ok := dirs.At("ctxbackground", call.Pos()); ok {
+			if d.Justification == "" {
+				pass.Reportf(call.Pos(), "//crowdjoin:ctxbackground needs a justification for rooting a fresh context here")
+			}
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() outside cmd//examples//tests: thread the caller's context (or annotate //crowdjoin:ctxbackground <why> for a sanctioned root)", fn.Name())
+		return true
+	})
+}
+
+// checkRunDriver enforces rule 2 on one function declaration.
+func checkRunDriver(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !strings.HasSuffix(fd.Name.Name, "Run") || fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	// Find RunOpts-typed parameters (by named-type name, so testdata can
+	// define its own RunOpts).
+	var params []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == "RunOpts" {
+				params = append(params, obj)
+			}
+		}
+	}
+	for _, param := range params {
+		uses := 0
+		selectsCtx := false
+		wholeUse := false
+		fieldOnly := true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if se, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := se.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == param {
+					uses++
+					if se.Sel.Name == "Ctx" {
+						selectsCtx = true
+					}
+					if s, ok := pass.TypesInfo.Selections[se]; ok && s.Kind() == types.MethodVal {
+						// A method call sees the whole value, Ctx included.
+						fieldOnly = false
+					}
+					return false // don't double-count the ident below
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == param {
+				uses++
+				wholeUse = true // passed or assigned as a whole value
+			}
+			return true
+		})
+		switch {
+		case uses == 0:
+			pass.Reportf(fd.Pos(), "%s drops its RunOpts parameter: the driver cannot be cancelled — thread RunOpts.Ctx", fd.Name.Name)
+		case !selectsCtx && !wholeUse && fieldOnly:
+			pass.Reportf(fd.Pos(), "%s uses RunOpts fields but never threads Ctx (no .Ctx selection, no whole-value pass-through): the driver cannot be cancelled", fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"crowdjoin/internal/vet/analysistest"
+)
+
+func TestCore(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/core", "crowdjoin/internal/core")
+}
+
+func TestCmdExempt(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/cmdok", "crowdjoin/cmd/tool")
+}

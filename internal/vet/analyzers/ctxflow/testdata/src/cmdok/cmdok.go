@@ -1,0 +1,13 @@
+// Package cmdok is analyzed as a package under crowdjoin/cmd/, where
+// minting root contexts is the program entry point's job and allowed.
+package cmdok
+
+import "context"
+
+func root() context.Context {
+	return context.Background()
+}
+
+func todo() context.Context {
+	return context.TODO()
+}

@@ -1,0 +1,97 @@
+// Package core impersonates crowdjoin/internal/core: root contexts are
+// banned and *Run drivers must thread RunOpts.Ctx.
+package core
+
+import "context"
+
+// RunOpts mirrors the real driver-options struct.
+type RunOpts struct {
+	Ctx      context.Context
+	Progress func(done int)
+}
+
+func (ro RunOpts) err() error {
+	if ro.Ctx != nil {
+		return ro.Ctx.Err()
+	}
+	return nil
+}
+
+func helper(ro RunOpts) {}
+
+// rootedInterior is the motivating rule-1 positive: an interior function
+// minting its own root context detaches itself from cancellation.
+func rootedInterior() context.Context {
+	return context.Background() // want `context.Background\(\) outside cmd//examples//tests`
+}
+
+func rootedTODO() context.Context {
+	ctx := context.TODO() // want `context.TODO\(\) outside cmd//examples//tests`
+	return ctx
+}
+
+// sanctionedRoot carries the annotation with a justification.
+func sanctionedRoot() context.Context {
+	//crowdjoin:ctxbackground deprecated shim for pre-ctx callers; Run(ctx, ...) is the real entry point
+	return context.Background()
+}
+
+// An annotation without a justification is itself flagged.
+func bareAnnotation() context.Context {
+	//crowdjoin:ctxbackground
+	return context.Background() // want `needs a justification`
+}
+
+// BadRun drops its RunOpts entirely: rule-2 positive.
+func BadRun(items []int, ro RunOpts) int { // want `BadRun drops its RunOpts parameter`
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+// SneakyRun touches RunOpts but only a non-context field, so cancellation
+// still never reaches it.
+func SneakyRun(items []int, ro RunOpts) { // want `SneakyRun uses RunOpts fields but never threads Ctx`
+	for i := range items {
+		ro.Progress(i)
+	}
+}
+
+// GoodRun selects .Ctx: compliant.
+func GoodRun(items []int, ro RunOpts) error {
+	for range items {
+		if ro.Ctx != nil && ro.Ctx.Err() != nil {
+			return ro.Ctx.Err()
+		}
+	}
+	return nil
+}
+
+// PassRun hands the whole RunOpts to a callee: compliant.
+func PassRun(items []int, ro RunOpts) {
+	for range items {
+		helper(ro)
+	}
+}
+
+// MethodRun calls a method on RunOpts, which sees the whole value:
+// compliant.
+func MethodRun(items []int, ro RunOpts) error {
+	for range items {
+		if err := ro.err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PtrRun takes *RunOpts and still threads Ctx: compliant (pointer params
+// are recognized too).
+func PtrRun(ro *RunOpts) context.Context {
+	return ro.Ctx
+}
+
+// notADriver has a RunOpts param but its name does not end in Run.
+func notADriver(ro RunOpts) {}

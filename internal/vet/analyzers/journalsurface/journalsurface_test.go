@@ -1,0 +1,15 @@
+package journalsurface
+
+import (
+	"testing"
+
+	"crowdjoin/internal/vet/analysistest"
+)
+
+func TestFacade(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/facade", "crowdjoin")
+}
+
+func TestNotRoot(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/notroot", "crowdjoin/internal/triage")
+}

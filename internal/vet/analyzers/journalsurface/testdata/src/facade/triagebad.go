@@ -1,0 +1,17 @@
+package facade
+
+// A triage*.go file referencing the journal in any way is a violation:
+// machine labels are never journaled.
+
+type triageTier struct {
+	js *journalState // want `triage code must not reference journalState`
+}
+
+func triageFlush(t *triageTier, p pair) {
+	t.js.record(p, 1) // want `triage code must not call journalState methods`
+}
+
+func triageSteal(t *triageTier, p pair) {
+	j := t.js
+	j.record(p, 1) // want `triage code must not call journalState methods` `triage code must not handle journalState values`
+}

@@ -1,0 +1,15 @@
+package facade
+
+// A triage file that never touches the journal is fine.
+
+type triageStats struct {
+	kept, dropped int
+}
+
+func triageCount(s *triageStats, keep bool) {
+	if keep {
+		s.kept++
+	} else {
+		s.dropped++
+	}
+}

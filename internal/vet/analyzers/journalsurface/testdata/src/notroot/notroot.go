@@ -1,0 +1,9 @@
+// Package notroot defines its own journalState under a non-facade import
+// path; the check is scoped to the root package and stays silent here.
+package notroot
+
+type journalState struct{ n int }
+
+func (j *journalState) record() { j.n++ }
+
+func anyoneMayCall(j *journalState) { j.record() }

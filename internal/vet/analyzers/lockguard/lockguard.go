@@ -1,0 +1,524 @@
+// Package lockguard machine-checks the repo's "guarded by" comments.
+//
+// A struct field annotated
+//
+//	pending []entry // guarded by mu
+//
+// (trailing or doc comment, `guarded by <field>`) may only be accessed in
+// statements dominated by a Lock/RLock of that mutex on the same base
+// expression: j.pending demands j.mu held. The checker is a lexical
+// abstract interpretation over each function body:
+//
+//   - x.mu.Lock()/RLock() raises the held count for key "x.mu";
+//     Unlock()/RUnlock() lowers it; a *deferred* Unlock does not (it runs
+//     at return, so the lock stays held for the rest of the body).
+//   - if/else: branches are walked separately; branches that terminate
+//     (return, break, continue, goto, panic) drop out of the merge; the
+//     merge keeps a lock held only if every surviving branch holds it.
+//   - loops: the body is walked with the entry state; the state after the
+//     loop is the entry state (the body may run zero times).
+//   - switch/select: every clause is walked from the entry state; the
+//     result is the intersection of the entry state and every surviving
+//     clause.
+//   - function literals are walked with an empty held set: a closure may
+//     run on another goroutine, so it inherits nothing.
+//
+// Escape hatches, because a lexical checker cannot see everything:
+//
+//   - methods whose name ends in "Locked" follow the repo's convention
+//     that the caller holds the receiver's mutex; their bodies are
+//     exempt (their call sites are still checked like any other code).
+//   - `//crowdjoin:lockheld <why>` on the line before a function exempts
+//     that function, with a mandatory justification.
+//   - "fresh" locals — variables only ever assigned composite literals or
+//     new() — are unshared by construction and exempt (the openJournal /
+//     newJob constructor pattern).
+//   - guards naming a path ("guarded by sched.mu") are recorded nowhere:
+//     a cross-object guard is out of lexical reach, so such fields are
+//     deliberately not checked rather than misreported.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated `// guarded by <mu>` are only accessed with that mutex held",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardKey identifies an annotated field by its struct type and name.
+type guardKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+// checker carries the per-package state through a walk.
+type checker struct {
+	pass   *analysis.Pass
+	guards map[guardKey]string // annotated field -> mutex field name
+	fresh  map[types.Object]bool
+}
+
+// lockState maps a mutex expression (types.ExprString of e.g. "j.mu") to
+// its held count.
+type lockState map[string]int
+
+func (ls lockState) clone() lockState {
+	c := make(lockState, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps the minimum held count across both states.
+func (ls lockState) intersect(o lockState) {
+	for k, v := range ls {
+		if ov := o[k]; ov < v {
+			if ov <= 0 {
+				delete(ls, k)
+			} else {
+				ls[k] = ov
+			}
+		}
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, guards: collectGuards(pass)}
+	if len(c.guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		dirs := analysis.Directives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			if d, ok := dirs.At("lockheld", fd.Pos()); ok {
+				if d.Justification == "" {
+					pass.Reportf(fd.Pos(), "//crowdjoin:lockheld needs a justification naming the lock the caller holds")
+				}
+				continue
+			}
+			c.fresh = freshLocals(pass, fd.Body)
+			c.walkStmts(fd.Body.List, lockState{})
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards parses `guarded by <field>` comments off struct fields.
+// Guards naming a dotted path are skipped (out of lexical reach).
+func collectGuards(pass *analysis.Pass) map[guardKey]string {
+	guards := map[guardKey]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardName(field)
+					if mu == "" || strings.Contains(mu, ".") {
+						continue
+					}
+					for _, name := range field.Names {
+						guards[guardKey{tn, name.Name}] = mu
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// guardName extracts the mutex name from a field's doc or trailing comment.
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// freshLocals finds variables whose every assignment is a composite
+// literal or new(): unshared by construction.
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	assigned := map[types.Object][]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			assigned[obj] = append(assigned[obj], as.Rhs[i])
+		}
+		return true
+	})
+	fresh := map[types.Object]bool{}
+	for obj, rhss := range assigned {
+		ok := true
+		for _, rhs := range rhss {
+			if !isFreshExpr(rhs) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fresh[obj] = true
+		}
+	}
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value.
+func isFreshExpr(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := t.X.(*ast.CompositeLit)
+		return t.Op.String() == "&" && ok
+	case *ast.CallExpr:
+		id, ok := t.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// walkStmts interprets a statement list, mutating held in place, and
+// reports whether control cannot fall off the end.
+func (c *checker) walkStmts(stmts []ast.Stmt, held lockState) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held lockState) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(st.X, held)
+		c.applyLockOps(st.X, held)
+		return isPanicCall(st.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// body; other deferred calls have their args checked now and
+		// FuncLit bodies walked cold.
+		for _, arg := range st.Call.Args {
+			c.checkExpr(arg, held)
+		}
+		if name, _ := lockOp(c.pass, st.Call); name == "" {
+			c.checkExpr(st.Call.Fun, held)
+		}
+		return false
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			c.checkExpr(arg, held)
+		}
+		c.checkExpr(st.Call.Fun, held)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			c.checkExpr(e, held)
+			c.applyLockOps(e, held)
+		}
+		for _, e := range st.Lhs {
+			c.checkExpr(e, held)
+		}
+		return false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.checkExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto leave this straight-line path
+	case *ast.BlockStmt:
+		return c.walkStmts(st.List, held)
+	case *ast.LabeledStmt:
+		return c.walkStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		c.checkExpr(st.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := c.walkStmts(st.Body.List, thenHeld)
+		if st.Else == nil {
+			if !thenTerm {
+				held.intersect(thenHeld)
+			}
+			return false
+		}
+		elseHeld := held.clone()
+		elseTerm := c.walkStmt(st.Else, elseHeld)
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(held, elseHeld)
+		case elseTerm:
+			replace(held, thenHeld)
+		default:
+			replace(held, thenHeld)
+			held.intersect(elseHeld)
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.checkExpr(st.Cond, held)
+		}
+		body := held.clone()
+		c.walkStmts(st.Body.List, body)
+		if st.Post != nil {
+			c.walkStmt(st.Post, body)
+		}
+		return false
+	case *ast.RangeStmt:
+		c.checkExpr(st.X, held)
+		body := held.clone()
+		c.walkStmts(st.Body.List, body)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				c.walkStmt(sw.Init, held)
+			}
+			if sw.Tag != nil {
+				c.checkExpr(sw.Tag, held)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, cl := range clauses {
+			var body []ast.Stmt
+			switch cc := cl.(type) {
+			case *ast.CaseClause:
+				for _, e := range cc.List {
+					c.checkExpr(e, held)
+				}
+				body = cc.Body
+			case *ast.CommClause:
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, held.clone())
+				}
+				body = cc.Body
+			}
+			clHeld := held.clone()
+			if !c.walkStmts(body, clHeld) {
+				held.intersect(clHeld)
+			}
+		}
+		return false
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+		return false
+	}
+}
+
+// replace overwrites dst with src in place.
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// lockOp classifies call as a mutex operation, returning the operation
+// name and the key of the mutex expression ("j.mu").
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (op, key string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, types.ExprString(sel.X)
+}
+
+// applyLockOps updates held for every mutex operation inside e (not
+// descending into function literals).
+func (c *checker) applyLockOps(e ast.Expr, held lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, key := lockOp(c.pass, call)
+		switch op {
+		case "Lock", "RLock":
+			held[key]++
+		case "Unlock", "RUnlock":
+			if held[key] > 1 {
+				held[key]--
+			} else {
+				delete(held, key)
+			}
+		}
+		return true
+	})
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// checkExpr reports guarded-field accesses in e that lack their mutex.
+// Function literals are walked with an empty held set.
+func (c *checker) checkExpr(e ast.Expr, held lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.walkStmts(fl.Body.List, lockState{})
+			return false
+		}
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		c.checkSelector(se, held)
+		return true
+	})
+}
+
+// checkSelector checks one x.f access against the guard table.
+func (c *checker) checkSelector(se *ast.SelectorExpr, held lockState) {
+	sel, ok := c.pass.TypesInfo.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	recv := sel.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	mu, ok := c.guards[guardKey{named.Obj(), se.Sel.Name}]
+	if !ok {
+		return
+	}
+	if obj := rootObj(c.pass, se.X); obj != nil && c.fresh[obj] {
+		return
+	}
+	key := types.ExprString(se.X) + "." + mu
+	if held[key] > 0 {
+		return
+	}
+	c.pass.Reportf(se.Pos(), "%s.%s is guarded by %s.%s but accessed without holding it (lock it, rename the function *Locked, or annotate //crowdjoin:lockheld <why>)", types.ExprString(se.X), se.Sel.Name, types.ExprString(se.X), mu)
+}
+
+// rootObj resolves the leftmost identifier of an expression chain.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[t]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

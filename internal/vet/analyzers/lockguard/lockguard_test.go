@@ -1,0 +1,11 @@
+package lockguard
+
+import (
+	"testing"
+
+	"crowdjoin/internal/vet/analysistest"
+)
+
+func TestLocked(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/locked", "crowdjoin")
+}

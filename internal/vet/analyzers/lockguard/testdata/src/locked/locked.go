@@ -1,0 +1,172 @@
+// Package locked exercises guarded-by checking: straight-line locking,
+// deferred unlocks, early releases, branch merges, loops, closures, and
+// every escape hatch.
+package locked
+
+import "sync"
+
+type journal struct {
+	mu      sync.Mutex
+	pending []int // guarded by mu
+	queued  int   // guarded by mu
+	closed  bool  // racy by design: not annotated, never checked
+}
+
+// enqueue holds the lock across both guarded accesses: clean.
+func (j *journal) enqueue(v int) {
+	j.mu.Lock()
+	j.pending = append(j.pending, v)
+	j.queued++
+	j.mu.Unlock()
+}
+
+// drain uses a deferred unlock, which keeps the lock held to the end.
+func (j *journal) drain() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := j.pending
+	j.pending = nil
+	return out
+}
+
+// leak reads a guarded field with no lock at all.
+func (j *journal) leak() int {
+	return len(j.pending) // want `j.pending is guarded by j.mu`
+}
+
+// early releases the lock before the guarded write.
+func (j *journal) early() {
+	j.mu.Lock()
+	j.mu.Unlock()
+	j.queued = 0 // want `j.queued is guarded by j.mu`
+}
+
+// onlyOneBranch locks on one path only; the merge drops the lock.
+func (j *journal) onlyOneBranch(b bool) {
+	if b {
+		j.mu.Lock()
+	}
+	j.pending = nil // want `j.pending is guarded by j.mu`
+	if b {
+		j.mu.Unlock()
+	}
+}
+
+// terminatingBranch is the guard-clause shape: the unlocking branch
+// returns, so the fallthrough path still holds the lock.
+func (j *journal) terminatingBranch(b bool) {
+	j.mu.Lock()
+	if b {
+		j.mu.Unlock()
+		return
+	}
+	j.pending = nil
+	j.mu.Unlock()
+}
+
+// loopBody inherits the lock held at loop entry.
+func (j *journal) loopBody(n int) {
+	j.mu.Lock()
+	for i := 0; i < n; i++ {
+		j.queued += i
+	}
+	j.mu.Unlock()
+}
+
+// groupCommit drops and retakes the lock inside the loop, the journal's
+// real flush shape.
+func (j *journal) groupCommit() {
+	j.mu.Lock()
+	for j.queued > 0 {
+		j.mu.Unlock()
+		j.mu.Lock()
+		j.queued--
+	}
+	j.mu.Unlock()
+}
+
+// switchClauses: the terminating default drops out of the merge.
+func (j *journal) switchClauses(mode int) {
+	j.mu.Lock()
+	switch mode {
+	case 0:
+		j.queued = 0
+	default:
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+}
+
+// closures start cold: a goroutine does not inherit the caller's lock.
+func (j *journal) async() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	go func() {
+		j.queued = 0 // want `j.queued is guarded by j.mu`
+	}()
+}
+
+// lockedClosure re-acquires inside the literal: clean.
+func (j *journal) lockedClosure() func() {
+	return func() {
+		j.mu.Lock()
+		j.queued = 0
+		j.mu.Unlock()
+	}
+}
+
+// resetLocked follows the *Locked caller-holds convention: exempt.
+func (j *journal) resetLocked() {
+	j.pending = j.pending[:0]
+	j.queued = 0
+}
+
+//crowdjoin:lockheld called only from enqueue with j.mu held across the batch
+func flush(j *journal) {
+	j.pending = j.pending[:0]
+}
+
+//crowdjoin:lockheld
+func bare(j *journal) { // want `needs a justification`
+	j.queued = 0
+}
+
+// newJournal mutates a fresh local before anyone can see it: exempt.
+func newJournal() *journal {
+	j := &journal{}
+	j.pending = make([]int, 0, 8)
+	j.queued = 0
+	return j
+}
+
+// unguarded fields stay unchecked.
+func (j *journal) close() {
+	j.closed = true
+}
+
+type stats struct {
+	rw sync.RWMutex
+	n  int // guarded by rw
+}
+
+// read-locking counts as holding the guard.
+func (s *stats) read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *stats) unlockedRead() int {
+	return s.n // want `s.n is guarded by s.rw`
+}
+
+type child struct {
+	parent *journal
+	q      []int // guarded by parent.mu
+}
+
+// dotted guards are out of lexical reach and deliberately unchecked.
+func (c *child) touch() {
+	c.q = nil
+}

@@ -1,0 +1,65 @@
+// Package maporder flags `for range` over maps inside the repo's
+// determinism-critical packages.
+//
+// The repo's correctness story leans on byte-identical differential pins:
+// candgen against the exhaustive reference, sharded against unsharded
+// labeling, stream-then-finish against batch-from-scratch, resumed
+// sessions against their first run. Go randomizes map iteration order per
+// range, so a map range on any path that feeds pair order, label order,
+// shard merge order, or journal contents is a latent nondeterminism bug
+// that only a lucky interleaving exposes (the questionRouter's shutdown
+// sweep over its live set was exactly this, PR 10). Inside the packages
+// listed by analysis.DeterminismCritical, every map range must either be
+// rewritten over a stable order (sorted keys, insertion-ordered slice) or
+// carry a `//crowdjoin:orderinvariant <why>` annotation arguing that the
+// loop's effect is independent of iteration order — a commutative fold, a
+// set membership fill, or output that is sorted before use.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map ranges in determinism-critical packages unless annotated //crowdjoin:orderinvariant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.DeterminismCritical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		dirs := analysis.Directives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := dirs.At("orderinvariant", rs.Pos()); ok {
+				if d.Justification == "" {
+					pass.Reportf(rs.Pos(), "//crowdjoin:orderinvariant needs a justification explaining why iteration order cannot matter")
+				}
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map in determinism-critical package %s: iterate in a stable order, or annotate //crowdjoin:orderinvariant <why> if order provably cannot matter", pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package maporder
+
+import (
+	"testing"
+
+	"crowdjoin/internal/vet/analysistest"
+)
+
+func TestCritical(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/critical", "crowdjoin/internal/core")
+}
+
+func TestNonCritical(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/noncritical", "crowdjoin/internal/crowd")
+}

@@ -1,0 +1,81 @@
+// Package critical impersonates a determinism-critical package
+// (analysistest runs it as "crowdjoin/internal/core"). The router type
+// below reproduces the pre-PR-10 questionRouter.shutdown pattern — the
+// motivating real finding: releasing live rounds by ranging the live map
+// settles them in randomized order.
+package critical
+
+import "sort"
+
+type round struct {
+	short   bool
+	settled bool
+}
+
+type router struct {
+	live   map[*round]struct{}
+	closed bool
+}
+
+func (r *router) settleLocked(rd *round) { rd.settled = true }
+
+// shutdown is the pre-fix pattern: a map range deciding the order rounds
+// are settled in.
+func (r *router) shutdown() {
+	r.closed = true
+	for rd := range r.live { // want `range over map in determinism-critical package`
+		rd.short = true
+		r.settleLocked(rd)
+	}
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in determinism-critical package`
+		total += v
+	}
+	return total
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map in determinism-critical package`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the annotated-and-justified form: the fold order is erased
+// by the sort before anyone observes it.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	//crowdjoin:orderinvariant output is sorted before use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trailing-comment form of the annotation also binds.
+func drop(m map[string]int) {
+	for k := range m { //crowdjoin:orderinvariant deleting every key, order-free
+		delete(m, k)
+	}
+}
+
+// An annotation without a justification is itself flagged.
+func unjustified(m map[string]int) {
+	//crowdjoin:orderinvariant
+	for range m { // want `needs a justification`
+	}
+}
+
+// Slice ranges are always fine.
+func slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

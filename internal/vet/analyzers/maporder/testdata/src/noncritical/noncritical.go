@@ -1,0 +1,11 @@
+// Package noncritical is analyzed under a package path outside the
+// determinism-critical set; map ranges here are unconstrained.
+package noncritical
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

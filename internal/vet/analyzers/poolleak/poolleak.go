@@ -1,0 +1,302 @@
+// Package poolleak machine-checks sync.Pool discipline in the hot paths.
+//
+// The candgen kernel (PR 8) and journal group-commit recycle scratch
+// buffers through sync.Pool; a Get without a Put silently degrades the
+// pool to an allocator, and pooled memory escaping into a returned value
+// is a use-after-Put bug waiting for the next Get. Per function, the
+// check:
+//
+//  1. finds acquisitions — direct (*sync.Pool).Get calls (optionally
+//     behind a type assertion) and calls to source helpers, package
+//     functions that Get from a pool and return the result (e.g.
+//     candgen's getScratch);
+//
+//  2. requires each acquired variable to be released at least once —
+//     a direct (*sync.Pool).Put or a call to a sink helper, a package
+//     function that Puts one of its parameters (e.g. putScratch);
+//     deferred releases count;
+//
+//  3. flags returns of the acquired variable or of a field selected from
+//     it: pooled scratch must not alias into results.
+//
+// Deliberate ownership transfers are annotated
+// `//crowdjoin:poolcarry <who releases and where>` on the acquisition.
+// The check is lexical (one release anywhere in the function satisfies
+// rule 2, all return paths are not separately proven); it is a tripwire
+// for the common leak shapes, not an escape analysis.
+package poolleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// Analyzer is the poolleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "require a matching Put for every sync.Pool.Get and keep pooled scratch out of returned values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sources := map[*types.Func]bool{}
+	sinks := map[*types.Func]bool{}
+	// Pass 1: classify this package's Get-returning source helpers and
+	// Put-forwarding sink helpers.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 && callsPoolMethod(pass, fd.Body, "Get") != nil {
+				sources[obj] = true
+			}
+			if arg := callsPoolMethod(pass, fd.Body, "Put"); arg != nil {
+				if pobj := rootIdentObj(pass, arg); pobj != nil && isParamOf(pobj, fd, pass) {
+					sinks[obj] = true
+				}
+			}
+		}
+	}
+	// Pass 2: balance acquisitions against releases in every function.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		dirs := analysis.Directives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, sources, sinks, dirs)
+		}
+	}
+	return nil, nil
+}
+
+// callsPoolMethod reports whether body contains a (*sync.Pool).<name>
+// call, returning the first argument of the first such call (nil for Get,
+// which has none — a non-nil *ast.Ident sentinel is not needed; Get
+// callers only test for presence, so it returns a dummy non-nil expr).
+func callsPoolMethod(pass *analysis.Pass, body *ast.BlockStmt, name string) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolCall(pass, call, name) {
+			return true
+		}
+		if len(call.Args) > 0 {
+			found = call.Args[0]
+		} else {
+			found = call.Fun
+		}
+		return false
+	})
+	return found
+}
+
+// isPoolCall reports whether call invokes the named method of sync.Pool.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// rootIdentObj resolves an expression to the object of its leftmost
+// identifier (x, x.f, x[i] all resolve to x).
+func rootIdentObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isParamOf reports whether obj is one of fd's parameters.
+func isParamOf(obj types.Object, fd *ast.FuncDecl, pass *analysis.Pass) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.TypesInfo.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// acquisitionCall reports whether call acquires pooled memory: a direct
+// Pool.Get or a call to a source helper.
+func acquisitionCall(pass *analysis.Pass, call *ast.CallExpr, sources map[*types.Func]bool) bool {
+	if isPoolCall(pass, call, "Get") {
+		return true
+	}
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	return callee != nil && sources[callee]
+}
+
+// checkFunc balances one function's acquisitions against its releases.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sources, sinks map[*types.Func]bool, dirs *analysis.FileDirectives) {
+	type acq struct {
+		pos      ast.Node
+		carry    bool // //crowdjoin:poolcarry present
+		released bool
+		escaped  bool
+	}
+	acquired := map[types.Object]*acq{}
+
+	// Acquisitions: x := pool.Get().(*T) / x := getScratch(...).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		rhs := as.Rhs[0]
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ta.X
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !acquisitionCall(pass, call, sources) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		a := &acq{pos: as}
+		if d, ok := dirs.At("poolcarry", as.Pos()); ok {
+			if d.Justification == "" {
+				pass.Reportf(as.Pos(), "//crowdjoin:poolcarry needs a justification saying who releases the pooled value")
+			}
+			a.carry = true
+		}
+		acquired[obj] = a
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	// Releases: pool.Put(x) / putScratch(x), deferred or not.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		releasing := isPoolCall(pass, call, "Put")
+		if !releasing {
+			var callee *types.Func
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+			releasing = callee != nil && sinks[callee]
+		}
+		if !releasing {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootIdentObj(pass, arg); obj != nil {
+				if a, ok := acquired[obj]; ok {
+					a.released = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Escapes: return x / return x.field for an acquired x.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			e := res
+			if se, ok := e.(*ast.SelectorExpr); ok {
+				e = se.X
+			}
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			a, okA := acquired[obj]
+			if !okA || a.carry {
+				continue
+			}
+			if _, ok := dirs.At("poolcarry", ret.Pos()); ok {
+				continue
+			}
+			a.escaped = true
+			pass.Reportf(ret.Pos(), "pooled scratch escapes into the return value: the caller would hold memory the pool may hand out again — copy it, or annotate //crowdjoin:poolcarry <why>")
+		}
+		return true
+	})
+
+	for _, a := range acquired {
+		if a.carry || a.released || a.escaped {
+			continue
+		}
+		pass.Reportf(a.pos.Pos(), "sync.Pool value acquired here has no matching Put in this function: the pool degrades to plain allocation — release it (defer works), or annotate //crowdjoin:poolcarry <why>")
+	}
+}

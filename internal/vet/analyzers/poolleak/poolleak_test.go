@@ -1,0 +1,11 @@
+package poolleak
+
+import (
+	"testing"
+
+	"crowdjoin/internal/vet/analysistest"
+)
+
+func TestScratch(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/scratch", "crowdjoin/internal/candgen")
+}

@@ -1,0 +1,80 @@
+// Package scratch exercises sync.Pool balance checking: direct
+// Get/Put pairs, helper-mediated pairs, leaks, escapes, and annotated
+// ownership transfers.
+package scratch
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// getBuf is a source helper: it Gets from the pool and returns the value.
+func getBuf() *buf { return pool.Get().(*buf) }
+
+// putBuf is a sink helper: it Puts its parameter back.
+func putBuf(b *buf) {
+	b.b = b.b[:0]
+	pool.Put(b)
+}
+
+// direct Get with deferred direct Put: balanced.
+func direct() int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return len(b.b)
+}
+
+// helper-mediated acquire and release: balanced.
+func viaHelpers() int {
+	b := getBuf()
+	n := len(b.b)
+	putBuf(b)
+	return n
+}
+
+// leakDirect never returns its direct Get.
+func leakDirect() int {
+	b := pool.Get().(*buf) // want `no matching Put`
+	return len(b.b)
+}
+
+// leakHelper never releases what the source helper handed it.
+func leakHelper() int {
+	b := getBuf() // want `no matching Put`
+	return len(b.b)
+}
+
+// escapeValue returns the pooled value itself.
+func escapeValue() *buf {
+	b := getBuf()
+	return b // want `pooled scratch escapes into the return value`
+}
+
+// escapeField returns memory aliasing the pooled value.
+func escapeField() []byte {
+	b := getBuf()
+	defer putBuf(b)
+	return b.b // want `pooled scratch escapes into the return value`
+}
+
+// copyOut copies out of the scratch before releasing: fine.
+func copyOut() []byte {
+	b := getBuf()
+	defer putBuf(b)
+	return append([]byte(nil), b.b...)
+}
+
+// carry transfers ownership deliberately, with a justification.
+func carry() *buf {
+	//crowdjoin:poolcarry caller releases via putBuf when the batch completes
+	b := getBuf()
+	return b
+}
+
+// bareCarry forgets the justification.
+func bareCarry() *buf {
+	//crowdjoin:poolcarry
+	b := getBuf() // want `needs a justification`
+	return b
+}

@@ -1,0 +1,310 @@
+// Package unitchecker implements the command-line protocol `go vet
+// -vettool=...` speaks to an analysis driver, using only the standard
+// library (see internal/vet/analysis for why x/tools is off the table).
+// The protocol, per cmd/go/internal/work and the x/tools unitchecker it
+// was designed around:
+//
+//	-V=full     print a version line ending in buildID=<hash> — cmd/go
+//	            folds it into the vet action cache key, so the hash must
+//	            change whenever the tool's behavior might (we hash the
+//	            executable itself);
+//	-flags      print a JSON array describing the tool's flags — cmd/go
+//	            uses it to validate user-passed vet flags;
+//	unit.cfg    analyze the single compilation unit described by the JSON
+//	            config file: parse cfg.GoFiles, typecheck against the
+//	            export data the build already produced (cfg.PackageFile),
+//	            run the analyzers, print diagnostics to stderr as
+//	            file:line:col: messages, exit 1 if there were any.
+//
+// go vet also schedules the tool over every *dependency* of the named
+// packages with VetxOnly set, expecting only a serialized-facts file; the
+// crowdjoinvet analyzers keep no cross-package facts, so that mode writes
+// an empty facts file and exits without parsing anything — vetting the
+// whole module costs one real analysis per listed package.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"crowdjoin/internal/vet/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description go vet writes next
+// to each package's build artifacts. Field set and meaning follow the
+// x/tools unitchecker contract; fields this driver has no use for are kept
+// so the JSON round-trips (and so a future driver can grow into them).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built over this driver. Invoked by
+// go vet it follows the protocol above; invoked by a human with package
+// patterns (e.g. `crowdjoinvet ./...`) it re-execs itself through
+// `go vet -vettool`, which handles loading, caching, and dependency
+// ordering — so the standalone form needs no source loader of its own.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if err := analysis.Validate(analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+
+	args := os.Args[1:]
+	disabled := make(map[string]bool)
+	var rest []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion(progname)
+			return
+		case arg == "-flags" || arg == "--flags":
+			printFlags(analyzers)
+			return
+		case strings.HasPrefix(arg, "-"):
+			// Accept -<name>=false / -<name> toggles for each analyzer; any
+			// other flag is unknown (go vet only forwards flags we advertised
+			// via -flags, so this is for direct human invocation).
+			name, val, ok := parseToggle(arg, analyzers)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "%s: unknown flag %s\n", progname, arg)
+				os.Exit(2)
+			}
+			if !val {
+				disabled[name] = true
+			}
+		default:
+			rest = append(rest, arg)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		var enabled []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !disabled[a.Name] {
+				enabled = append(enabled, a)
+			}
+		}
+		os.Exit(runUnit(progname, rest[0], enabled))
+	}
+
+	// Standalone form: delegate to go vet with ourselves as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
+		os.Exit(2)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	for name := range disabled {
+		vetArgs = append(vetArgs, "-"+name+"=false")
+	}
+	cmd := exec.Command("go", append(vetArgs, rest...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: running go vet: %v\n", progname, err)
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the -V=full line. cmd/go requires the second field to
+// be "version" and, for a "devel" third field, a final field starting with
+// "buildID="; the hash of the executable makes the vet cache invalidate
+// whenever the tool is rebuilt with different behavior.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// printFlags describes the tool's flags as the JSON array go vet expects
+// from `vettool -flags`: one bool toggle per analyzer.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: summary})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// parseToggle matches -<name>, -<name>=true, -<name>=false against the
+// analyzer set (single or double dash).
+func parseToggle(arg string, analyzers []*analysis.Analyzer) (name string, val bool, ok bool) {
+	arg = strings.TrimPrefix(strings.TrimPrefix(arg, "-"), "-")
+	name, v, hasVal := strings.Cut(arg, "=")
+	for _, a := range analyzers {
+		if a.Name == name {
+			if !hasVal {
+				return name, true, true
+			}
+			switch v {
+			case "true":
+				return name, true, true
+			case "false":
+				return name, false, true
+			}
+			return "", false, false
+		}
+	}
+	return "", false, false
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code.
+func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot decode JSON config file %s: %v\n", progname, cfgFile, err)
+		return 2
+	}
+
+	// Facts first: go vet caches the VetxOutput file as the unit's vet
+	// artifact, so it must exist even though this suite keeps no facts. In
+	// VetxOnly mode (dependency pre-pass) that is the whole job.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing facts file: %v\n", progname, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path; the build wrote its export data
+		// where PackageFile says.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		var diags []analysis.Diagnostic
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, a.Name, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -579,6 +579,7 @@ func (j *Join) Run(ctx context.Context) (*JoinResult, error) {
 	}
 	defer j.running.Store(false)
 	if ctx == nil {
+		//crowdjoin:ctxbackground documented Run(nil) contract: nil means never cancelled
 		ctx = context.Background()
 	}
 	// Snapshot the input. A streaming session (Append was called) reads the
@@ -805,8 +806,8 @@ func (j *Join) runOnce(runCtx context.Context, numObjects int, order []Pair, pt 
 	}
 	if jrn != nil {
 		res.Replayed = jrn.replayedCount()
-		if jrn.werr != nil {
-			werr := fmt.Errorf("crowdjoin: journal append: %w", jrn.werr)
+		if jerr := jrn.writeErr(); jerr != nil {
+			werr := fmt.Errorf("crowdjoin: journal append: %w", jerr)
 			if res.Labels == nil {
 				// The driver failed outright before the cancellation could
 				// produce a partial result; there is nothing usable.

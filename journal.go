@@ -110,8 +110,8 @@ func keyOf(a, b int32) pairKey {
 // disjoint pairs, so the serialization order of their appends never
 // matters for replay.
 type journalState struct {
-	mu         sync.Mutex
-	answers    map[pairKey]Label
+	mu      sync.Mutex
+	answers map[pairKey]Label // guarded by mu
 	// w is the append side; nil puts the journal in memory-only mode —
 	// answers are cached and replayed across Runs of one session but
 	// nothing is persisted (streaming sessions without WithJournal use
@@ -124,7 +124,7 @@ type journalState struct {
 	// stream; the next append writes them (in order, before its entry) so
 	// answers about appended records always follow the r line that
 	// introduced them.
-	pendingArrivals []int
+	pendingArrivals []int // guarded by mu
 	// needHeader: the stream held no (surviving) lines, so the first
 	// append writes the header line. needObjects: no objects fingerprint
 	// survived (fresh journal, or the line was torn away), so the first
@@ -132,11 +132,11 @@ type journalState struct {
 	// silently disabled forever. needVoid: the stream ended mid-line
 	// (crash during a previous append), so the first append starts with
 	// "#\n", turning the fragment into a voided line future reads skip.
-	needHeader  bool
-	needObjects bool
-	needVoid    bool
-	replayed    int
-	werr        error
+	needHeader  bool  // guarded by mu
+	needObjects bool  // guarded by mu
+	needVoid    bool  // guarded by mu
+	replayed    int   // guarded by mu
+	werr        error // guarded by mu
 	onError     func()
 	// pending holds formatted entries not yet written to w; flushing marks
 	// that one goroutine is draining it. record formats under mu (so the
@@ -152,12 +152,12 @@ type journalState struct {
 	// unrecorded). Exactly one flusher runs at a time, so the io.Writer
 	// itself needs no concurrency safety (writes happen-before each other
 	// via mu).
-	pending  []byte
-	spare    []byte // retired pending buffer, reused to avoid reallocating
-	flushing bool
+	pending  []byte    // guarded by mu
+	spare    []byte    // guarded by mu; retired pending buffer, reused to avoid reallocating
+	flushing bool      // guarded by mu
 	flushed  sync.Cond // signals written/werr updates; lazily bound to mu
-	queued   int64     // total bytes ever appended to pending
-	written  int64     // total bytes successfully written to w
+	queued   int64     // guarded by mu; total bytes ever appended to pending
+	written  int64     // guarded by mu; total bytes successfully written to w
 }
 
 // newMemoryJournal returns a journal in memory-only mode: lookup, record,
@@ -297,6 +297,15 @@ func (j *journalState) resetReplay() {
 	j.mu.Lock()
 	j.replayed = 0
 	j.mu.Unlock()
+}
+
+// writeErr returns the first append failure, if any. Run reads it after
+// the drivers drain; the lock still matters because a failed flusher may
+// be setting werr while a last straggler returns.
+func (j *journalState) writeErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.werr
 }
 
 // record appends one crowd answer. Invalid labels are not journaled (the

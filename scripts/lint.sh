@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Local mirror of CI's static-analysis gauntlet, cheapest check first:
+#
+#   1. gofmt       -- formatting drift (check only, never rewrites)
+#   2. go vet      -- the stock toolchain checks
+#   3. crowdjoinvet -- the repo's own analyzers (cmd/crowdjoinvet):
+#                      maporder, lockguard, journalsurface, ctxflow,
+#                      poolleak; see DESIGN.md "Static analysis"
+#   4. staticcheck -- if installed (CI installs it and enforces; locally
+#                      `go install honnef.co/go/tools/cmd/staticcheck@2025.1`)
+#
+# Exits non-zero on the first failure, like CI would.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "lint: gofmt" >&2
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needs to run on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "lint: go vet" >&2
+go vet ./...
+
+echo "lint: crowdjoinvet" >&2
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/crowdjoinvet" ./cmd/crowdjoinvet
+go vet -vettool="$tmpdir/crowdjoinvet" ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "lint: staticcheck" >&2
+	staticcheck ./...
+else
+	echo "lint: staticcheck not installed, skipping (CI enforces it)" >&2
+fi
+
+echo "lint: clean" >&2
